@@ -1,0 +1,118 @@
+"""Ablation (Section 5.1) — the world-table caches.
+
+* cold vs warm ``world_call`` (a miss costs an exception + table walk +
+  ``manage_wtc`` refill);
+* cache-capacity sweep: too few entries for the working set of worlds
+  causes thrashing;
+* the optional Current-World-ID prefetch register.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import HardwareFeatures
+from repro.hw.paging import PageTable
+from repro.machine import Machine
+
+
+def build(worlds: int, cache_entries: int = 16,
+          current_wid_register: bool = False):
+    features = HardwareFeatures(vmfunc=True, crossover=True,
+                                wt_cache_entries=cache_entries,
+                                current_wid_register=current_wid_register)
+    machine = Machine(features=features)
+    entries = []
+    for i in range(worlds):
+        vm = machine.hypervisor.create_vm(f"vm{i}")
+        pt = PageTable(f"vm{i}-kern")
+        gpa = vm.map_new_page("kernel-text")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entries.append(machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA))
+    machine.hypervisor.launch(
+        machine.cpu, machine.hypervisor.vm_by_name("vm0"))
+    machine.cpu.write_cr3(entries[0].page_table)
+    return machine, entries
+
+
+def ring_call_cycles(machine, entries, rounds: int) -> float:
+    """Cycle cost of world-calling around the ring of worlds."""
+    svc = machine.hypervisor.worlds
+    snap = machine.cpu.perf.snapshot()
+    for r in range(rounds):
+        for entry in entries[1:] + entries[:1]:
+            svc.world_call(machine.cpu, entry.wid)
+    calls = rounds * len(entries)
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / calls
+
+
+def test_cold_vs_warm_world_call(run_once):
+    def experiment():
+        machine, entries = build(worlds=2)
+        svc = machine.hypervisor.worlds
+        cold_snap = machine.cpu.perf.snapshot()
+        svc.world_call(machine.cpu, entries[1].wid)
+        cold = cold_snap.delta(machine.cpu.perf.snapshot()).cycles
+        svc.world_call(machine.cpu, entries[0].wid)
+        warm_snap = machine.cpu.perf.snapshot()
+        svc.world_call(machine.cpu, entries[1].wid)
+        warm = warm_snap.delta(machine.cpu.perf.snapshot()).cycles
+        return cold, warm
+
+    cold, warm = run_once(experiment)
+    emit("Ablation §5.1 — WT/IWT cache",
+         format_table(["Path", "cycles"],
+                      [["cold (miss + walk + fill)", cold],
+                       ["warm (cache hit)", warm]]))
+    assert warm == 200                      # just the hardware switch
+    assert cold > 5 * warm                  # misses are expensive
+
+
+@pytest.mark.parametrize("worlds,entries,expect_thrash", [
+    (4, 16, False),     # fits comfortably
+    (8, 4, True),       # working set exceeds the cache
+])
+def test_capacity_sweep(run_once, worlds, entries, expect_thrash):
+    def experiment():
+        machine, world_entries = build(worlds=worlds,
+                                       cache_entries=entries)
+        ring_call_cycles(machine, world_entries, rounds=1)   # warm
+        misses_before = machine.hypervisor.worlds.misses_serviced
+        per_call = ring_call_cycles(machine, world_entries, rounds=3)
+        misses = machine.hypervisor.worlds.misses_serviced - misses_before
+        return per_call, misses
+
+    per_call, misses = run_once(experiment)
+    emit(f"Ablation §5.1 — capacity sweep ({worlds} worlds, "
+         f"{entries}-entry caches)",
+         f"per-call cycles: {per_call:.0f}, misses serviced: {misses}")
+    if expect_thrash:
+        assert misses > 0
+        assert per_call > 500
+    else:
+        assert misses == 0
+        assert per_call == 200
+
+
+def test_current_wid_register_reduces_iwt_pressure(run_once):
+    def experiment():
+        results = {}
+        for prefetch in (False, True):
+            machine, entries = build(worlds=2,
+                                     current_wid_register=prefetch)
+            ring_call_cycles(machine, entries, rounds=1)     # warm
+            cpu = machine.cpu
+            assert cpu.wt_caches is not None
+            before = cpu.wt_caches.iwt.hits + cpu.wt_caches.iwt.misses
+            ring_call_cycles(machine, entries, rounds=5)
+            after = cpu.wt_caches.iwt.hits + cpu.wt_caches.iwt.misses
+            results[prefetch] = after - before
+        return results
+
+    lookups = run_once(experiment)
+    emit("Ablation §5.1 — Current-World-ID prefetch register",
+         f"IWT lookups without register: {lookups[False]}, "
+         f"with register: {lookups[True]}")
+    assert lookups[True] < lookups[False]

@@ -1,0 +1,87 @@
+"""Design-choice comparison (Section 3.3): the paper's non-disruptive
+synchronous world_call vs the two rejected alternatives — asynchronous
+message passing and IPI-bound synchronous calls."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.core.alternatives import AsyncMessageCall, IPIBoundCall
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.paging import PageTable
+from repro.machine import Machine
+
+
+def build_worldcall_machine():
+    machine = Machine(features=FEATURES_CROSSOVER)
+    entries = []
+    for name in ("vm1", "vm2"):
+        vm = machine.hypervisor.create_vm(name)
+        pt = PageTable(f"{name}-kern")
+        gpa = vm.map_new_page("kernel-text")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entries.append(machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA))
+    machine.hypervisor.launch(machine.cpu,
+                              machine.hypervisor.vm_by_name("vm1"))
+    machine.cpu.write_cr3(entries[0].page_table)
+    return machine, entries
+
+
+def world_call_cycles() -> float:
+    machine, entries = build_worldcall_machine()
+    svc = machine.hypervisor.worlds
+    svc.world_call(machine.cpu, entries[1].wid)
+    svc.world_call(machine.cpu, entries[0].wid)
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(10):
+        svc.world_call(machine.cpu, entries[1].wid)
+        svc.world_call(machine.cpu, entries[0].wid)
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 10
+
+
+def alternative_cycles(mechanism_cls, **kwargs) -> float:
+    machine = Machine(features=FEATURES_CROSSOVER, cpus=2)
+    vm = machine.hypervisor.create_vm("vm1")
+    machine.hypervisor.launch(machine.cpu, vm)
+    mech = mechanism_cls(machine, handler=lambda payload: payload, **kwargs)
+    mech.call(machine.cpu, "x")
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(10):
+        mech.call(machine.cpu, "x")
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 10
+
+
+def test_design_choice_comparison(run_once):
+    def experiment():
+        return {
+            "world_call (chosen: in-place synchronous)": world_call_cycles(),
+            "async message passing (idle callee core)": alternative_cycles(
+                AsyncMessageCall, callee_load=0),
+            "async message passing (busy callee core)": alternative_cycles(
+                AsyncMessageCall, callee_load=2),
+            "IPI-bound synchronous call": alternative_cycles(IPIBoundCall),
+        }
+
+    results = run_once(experiment)
+    emit("Section 3.3 — design alternatives",
+         format_table(["Mechanism", "cycles/call round trip"],
+                      [[k, v] for k, v in results.items()]))
+    chosen = results["world_call (chosen: in-place synchronous)"]
+    # Even an idle-core async call loses to the in-place switch (cache
+    # transfer + queue costs); a busy callee core is catastrophic.
+    assert chosen < results["async message passing (idle callee core)"]
+    assert results["async message passing (busy callee core)"] > \
+        10 * chosen
+    # The IPI variant's per-call privileged binding dooms it.
+    assert chosen < results["IPI-bound synchronous call"] / 5
+
+
+def test_async_latency_grows_with_callee_load(run_once):
+    def experiment():
+        return [alternative_cycles(AsyncMessageCall, callee_load=n)
+                for n in (0, 1, 4)]
+
+    idle, light, heavy = run_once(experiment)
+    assert idle < light < heavy

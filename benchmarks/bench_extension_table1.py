@@ -1,0 +1,78 @@
+"""Extension — the remaining Table-1 rows as measured systems:
+Overshadow (4.5X interposition) and the Xen split-driver/ClickOS I/O
+paths (3X / 2X), each against its cross-world-optimized form."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table, reduction
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.systems.overshadow import Overshadow
+from repro.systems.splitdriver import SplitDriver
+from repro.testbed import (
+    build_single_vm_machine,
+    build_two_vm_machine,
+    enter_vm_kernel,
+)
+
+
+def overshadow_cycles(optimized: bool) -> float:
+    machine, vm, kernel = build_single_vm_machine(
+        features=FEATURES_CROSSOVER)
+    shadow = Overshadow(machine, kernel, optimized=optimized)
+    shadow.setup()
+    enter_vm_kernel(machine, vm)
+    kernel.enter_user(shadow.app)
+    shadow.cloaked_syscall("getpid")
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(5):
+        shadow.cloaked_syscall("getpid")
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 5
+
+
+def splitdriver_cycles(mode: str) -> float:
+    machine, guest_vm, guest_os, dom0_vm, dom0_os = build_two_vm_machine(
+        names=("guest", "dom0"))
+    driver = SplitDriver(machine, guest_os, dom0_os, mode=mode)
+    driver.setup()
+    enter_vm_kernel(machine, guest_vm)
+    driver.transmit(b"w" * 64)
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(5):
+        driver.transmit(b"w" * 64)
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 5
+
+
+def test_overshadow_extension(run_once):
+    def experiment():
+        return overshadow_cycles(False), overshadow_cycles(True)
+
+    baseline, optimized = run_once(experiment)
+    emit("Extension — Overshadow (4.5X interposition)",
+         format_table(["Path", "cycles/syscall"],
+                      [["hypervisor-interposed (4 detours)", baseline],
+                       ["shim + kernel worlds (4 world calls)", optimized],
+                       ["reduction", f"{reduction(baseline, optimized):.0f}%"]]))
+    assert optimized < baseline / 3
+
+
+def test_splitdriver_extension(run_once):
+    def experiment():
+        return {mode: splitdriver_cycles(mode)
+                for mode in ("emulated", "paravirt", "crossover")}
+
+    results = run_once(experiment)
+    emit("Extension — split-driver I/O (Xen emulated 3X, ClickOS 2X)",
+         format_table(["Mode", "cycles/frame"],
+                      [[k, v] for k, v in results.items()]))
+    # The Table-1 ordering: emulated (3X path) > paravirt (2X path) >
+    # direct cross-VM backend invocation.  The physical-device send path
+    # (~TCP + NIC kick) is identical across modes, so the comparison is
+    # about the mechanism overhead on top of it.
+    assert results["emulated"] > results["paravirt"] > \
+        results["crossover"]
+    # The direct path strips the hypervisor event-channel bounce (two
+    # exits + scheduling + injection, several thousand cycles).
+    assert results["paravirt"] - results["crossover"] > 4000
+    # The device-model detour costs the emulated mode yet more.
+    assert results["emulated"] - results["paravirt"] > 4000

@@ -1,0 +1,27 @@
+"""Figure 2 — the baseline redirection paths of the four case-study
+systems, measured from live transition traces."""
+
+from benchmarks.conftest import emit
+from repro.analysis import experiments
+
+
+def test_figure2_measured_paths(run_once):
+    data = run_once(experiments.run_figure2)
+    lines = []
+    for name, d in data.items():
+        lines.append(f"{name}: {d['crossings']} crossings "
+                     f"(paper diagram: {d['paper_crossings']})")
+        lines.append("  " + " -> ".join(d["path"]))
+    emit("Figure 2 — measured baseline call paths", "\n".join(lines))
+    for name, d in data.items():
+        # The simulator records every ring crossing, so measured counts
+        # bound the figure's coarser world-hop counts from above.
+        assert d["crossings"] >= d["paper_crossings"], name
+
+
+def test_figure2_every_baseline_visits_the_hypervisor(run_once):
+    data = run_once(experiments.run_figure2)
+    for name, d in data.items():
+        hypervisor_events = [e for e in d["events"]
+                             if "vmexit" in e or "vmentry" in e]
+        assert hypervisor_events, name

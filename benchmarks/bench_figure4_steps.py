@@ -1,0 +1,21 @@
+"""Figure 4 — the VMFUNC cross-VM syscall step sequence."""
+
+from benchmarks.conftest import emit
+from repro.analysis import experiments
+
+
+def test_figure4_step_trace(run_once):
+    d = run_once(experiments.run_figure4)
+    emit("Figure 4 — cross-VM syscall over VMFUNC",
+         "\n".join(d["events"]))
+    # Exactly two exit-free EPT switches, no VM exits on the fast path.
+    assert d["vmfunc_switches"] == 2
+    assert not any("vmexit" in e for e in d["events"])
+
+
+def test_figure4_ring_discipline(run_once):
+    d = run_once(experiments.run_figure4)
+    kinds = [e.split()[1] for e in d["events"]]
+    # The app's trap comes first, the final return to user last.
+    assert kinds[0] == "syscall_trap"
+    assert kinds[-1] == "sysret"

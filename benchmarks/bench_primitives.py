@@ -1,0 +1,102 @@
+"""Primitive-mechanism comparison: the cycle cost of one cross-world
+hop under each mechanism generation (Section 3.3's design-choice
+discussion made quantitative)."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import format_table
+from repro.core.crossvm import CrossVMSyscallMechanism
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.paging import PageTable
+from repro.hypervisor.hypercalls import Hypercall
+from repro.machine import Machine
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+def hypercall_roundtrip_cycles() -> float:
+    """K(vm) -> K(host) -> K(vm) via vmcall."""
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    enter_vm_kernel(machine, vm1)
+    machine.hypervisor.hypercall(machine.cpu, Hypercall.QUERY_SELF)
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(10):
+        machine.hypervisor.hypercall(machine.cpu, Hypercall.QUERY_SELF)
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 10
+
+
+def vmfunc_pair_cycles() -> float:
+    """K(vm1) -> K(vm2) -> K(vm1) via two EPTP switches (no helper)."""
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    enter_vm_kernel(machine, vm1)
+    cpu = machine.cpu
+    cpu.vmfunc(0, vm2.vm_id)
+    cpu.vmfunc(0, vm1.vm_id)
+    snap = cpu.perf.snapshot()
+    for _ in range(10):
+        cpu.vmfunc(0, vm2.vm_id)
+        cpu.vmfunc(0, vm1.vm_id)
+    return snap.delta(cpu.perf.snapshot()).cycles / 10
+
+
+def world_call_pair_cycles() -> float:
+    """K(vm1) -> K(vm2) -> K(vm1) via world_call (warm caches)."""
+    machine = Machine(features=FEATURES_CROSSOVER)
+    entries = []
+    for name in ("vm1", "vm2"):
+        vm = machine.hypervisor.create_vm(name)
+        pt = PageTable(f"{name}-kern")
+        gpa = vm.map_new_page("kernel-text")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entries.append(machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA))
+    machine.hypervisor.launch(machine.cpu,
+                              machine.hypervisor.vm_by_name("vm1"))
+    machine.cpu.write_cr3(entries[0].page_table)
+    svc = machine.hypervisor.worlds
+    svc.world_call(machine.cpu, entries[1].wid)
+    svc.world_call(machine.cpu, entries[0].wid)
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(10):
+        svc.world_call(machine.cpu, entries[1].wid)
+        svc.world_call(machine.cpu, entries[0].wid)
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 10
+
+
+def crossvm_syscall_cycles() -> float:
+    """One full Section-4.3 cross-VM syscall round trip."""
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    mech = CrossVMSyscallMechanism(machine)
+    enter_vm_kernel(machine, vm1)
+    mech.setup_pair(vm1, vm2)
+    enter_vm_kernel(machine, vm1)
+    mech.call(vm1, vm2, "getppid")
+    snap = machine.cpu.perf.snapshot()
+    for _ in range(10):
+        mech.call(vm1, vm2, "getppid")
+    return snap.delta(machine.cpu.perf.snapshot()).cycles / 10
+
+
+def test_primitive_comparison(run_once):
+    def experiment():
+        return {
+            "hypercall round trip (plain VT-x)": hypercall_roundtrip_cycles(),
+            "VMFUNC EPT switch pair": vmfunc_pair_cycles(),
+            "world_call pair (CrossOver, warm)": world_call_pair_cycles(),
+            "full cross-VM syscall (Section 4.3)": crossvm_syscall_cycles(),
+        }
+
+    results = run_once(experiment)
+    emit("Primitive cross-world mechanisms",
+         format_table(["Mechanism", "cycles"],
+                      [[k, v] for k, v in results.items()]))
+    # Shapes: exit-free mechanisms are far below the hypercall bounce.
+    assert results["VMFUNC EPT switch pair"] < \
+        results["hypercall round trip (plain VT-x)"] / 5
+    assert results["world_call pair (CrossOver, warm)"] < \
+        results["hypercall round trip (plain VT-x)"] / 5
+    # The full §4.3 path (CR3/IDT juggling, shared-memory copies) costs
+    # more than the bare switch but still beats the hypercall bounce.
+    assert results["full cross-VM syscall (Section 4.3)"] < \
+        results["hypercall round trip (plain VT-x)"]

@@ -1,0 +1,49 @@
+"""Table 5 — six utility tools inspecting another VM: native vs
+hypervisor-redirected vs CrossOver-redirected."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import experiments
+from repro.analysis.calibration import TABLE5_MS
+from repro.analysis.tables import format_table, reduction
+
+
+@pytest.fixture(scope="module")
+def table5():
+    return experiments.run_table5()
+
+
+def test_table5_utilities(run_once, table5):
+    def render():
+        rows = []
+        for tool, d in table5.items():
+            pn, po, pc = d["paper"]
+            rows.append([tool, d["native"], pn, d["original"], po,
+                         d["crossover"], pc,
+                         f"{reduction(d['original'], d['crossover']):.1f}%",
+                         f"{reduction(po, pc):.1f}%"])
+        return format_table(
+            ["Utility", "Native ms", "(paper)", "w/o", "(paper)",
+             "w/", "(paper)", "Reduction", "(paper)"], rows)
+
+    emit("Table 5 — utility tools", run_once(render))
+
+
+@pytest.mark.parametrize("tool", list(TABLE5_MS))
+def test_table5_row_shape(table5, tool):
+    d = table5[tool]
+    pn, po, pc = d["paper"]
+    assert d["native"] == pytest.approx(pn, rel=0.15)
+    assert d["native"] < d["crossover"] < d["original"]
+    assert reduction(d["original"], d["crossover"]) == pytest.approx(
+        reduction(po, pc), abs=12)
+    assert d["outputs_consistent"]
+
+
+def test_table5_reduction_band(table5):
+    """Paper: 'an overhead reduction [that] ranges from 55% to 73%'."""
+    reductions = [reduction(d["original"], d["crossover"])
+                  for d in table5.values()]
+    assert min(reductions) >= 50
+    assert max(reductions) <= 85

@@ -1,0 +1,51 @@
+"""Table 6 — partitioned OpenSSH server scp throughput."""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis import experiments
+from repro.analysis.calibration import TABLE6_MBS
+from repro.analysis.tables import format_table, improvement
+
+SIZES = (128, 256, 512, 1024)
+
+
+@pytest.fixture(scope="module")
+def table6():
+    return experiments.run_table6(sizes_mb=SIZES)
+
+
+def test_table6_openssh_throughput(run_once, table6):
+    def render():
+        rows = []
+        for size, d in table6.items():
+            pn, pc, pb = d["paper"]
+            rows.append([size, d["native"], pn, d["crossover"], pc,
+                         d["baseline"], pb,
+                         f"{improvement(d['crossover'], d['baseline']):.0f}%",
+                         f"{improvement(pc, pb):.0f}%"])
+        return format_table(
+            ["Size MB", "Native", "(paper)", "w/ CrossOver", "(paper)",
+             "w/o", "(paper)", "Improvement", "(paper)"], rows)
+
+    emit("Table 6 — OpenSSH scp throughput (MB/s)", run_once(render))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_table6_row_shape(table6, size):
+    d = table6[size]
+    pn, pc, pb = d["paper"]
+    assert d["native"] > d["crossover"] > d["baseline"]
+    assert d["native"] == pytest.approx(pn, rel=0.25)
+    assert d["crossover"] == pytest.approx(pc, rel=0.25)
+    assert d["baseline"] == pytest.approx(pb, rel=0.25)
+
+
+def test_table6_improvement_band(table6):
+    """Paper: 'CrossOver enjoys more than 67% performance speedup'."""
+    for size, d in table6.items():
+        assert improvement(d["crossover"], d["baseline"]) >= 50, size
+
+
+def test_table6_native_degrades_with_size(table6):
+    assert table6[1024]["native"] < table6[128]["native"]

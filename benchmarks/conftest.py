@@ -1,0 +1,30 @@
+"""Shared benchmark helpers.
+
+Each ``bench_*`` file regenerates one table or figure of the paper.
+pytest-benchmark measures the *simulator's* wall-clock; the scientific
+output — simulated cycles/instructions/latency next to the paper's
+numbers — is printed per benchmark and attached to ``extra_info`` so it
+lands in ``--benchmark-json`` exports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def emit(title: str, body: str) -> None:
+    """Print a clearly delimited result block."""
+    bar = "=" * max(len(title), 20)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive simulation exactly once under pytest-benchmark
+    (the simulated metrics, not the wall time, are the result)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""ShadowContext-style virtual machine introspection.
+
+A trusted monitoring VM inspects an untrusted VM by redirecting its
+introspection syscalls into a stealth dummy process there: it lists the
+untrusted VM's processes, detects a "suspicious" one, and reads its
+status — comparing the hypervisor-bounced design with the VMFUNC
+cross-world version.
+
+Run:  python examples/shadowcontext_introspection.py
+"""
+
+from repro.systems import ShadowContext
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+def populate_untrusted_vm(kernel) -> None:
+    """Some daemons, one of them suspicious."""
+    for i in range(30):
+        kernel.spawn(f"httpd-{i:02d}", parent=kernel.init, uid=33)
+    kernel.spawn("cryptominer", parent=kernel.init, uid=0)
+
+
+def introspect(system) -> dict:
+    """Scan /proc of the untrusted VM through redirected syscalls."""
+    findings = {}
+    entries = system.redirect_syscall("readdir", "/proc")
+    for entry in entries:
+        if not entry.isdigit():
+            continue
+        fd = system.redirect_syscall("open", f"/proc/{entry}/comm", "r")
+        comm = system.redirect_syscall("read", fd, 64).decode().strip()
+        system.redirect_syscall("close", fd)
+        findings[int(entry)] = comm
+    return findings
+
+
+def main() -> None:
+    for optimized in (False, True):
+        machine, trusted_vm, trusted_os, untrusted_vm, untrusted_os = \
+            build_two_vm_machine(names=("trusted", "untrusted"))
+        populate_untrusted_vm(untrusted_os)
+        system = ShadowContext(machine, trusted_vm, untrusted_vm,
+                               optimized=optimized)
+        enter_vm_kernel(machine, trusted_vm)
+        system.setup()
+        enter_vm_kernel(machine, trusted_vm)
+
+        snap = machine.cpu.perf.snapshot()
+        procs = introspect(system)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+
+        suspicious = [(pid, name) for pid, name in procs.items()
+                      if name == "cryptominer"]
+        label = "VMFUNC cross-world" if optimized else "hypervisor-bounced"
+        print(f"{label} introspection:")
+        print(f"   scanned {len(procs)} processes in "
+              f"{delta.microseconds:.0f} us "
+              f"({delta.count('vmexit')} VM exits, "
+              f"{delta.count('vmfunc_ept_switch')} VMFUNC switches)")
+        for pid, name in suspicious:
+            status_fd = system.redirect_syscall(
+                "open", f"/proc/{pid}/status", "r")
+            status = system.redirect_syscall("read", status_fd, 256)
+            system.redirect_syscall("close", status_fd)
+            print(f"   ALERT: pid {pid} is {name!r} "
+                  f"(uid line: {status.decode().splitlines()[4]})")
+        print()
+
+
+if __name__ == "__main__":
+    main()

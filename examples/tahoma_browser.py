@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Tahoma-style browser isolation: per-site browser instances in their
+own VMs, controlled by a manager through browser-calls.
+
+Three browser-instance VMs each render a "site"; every instance asks
+the manager VM (the browser kernel) to perform privileged operations —
+persisting cookies, fetching the bookmark list — through cross-VM RPC.
+The example runs the same workload over the XML-over-TCP baseline and
+over VMFUNC browser-calls.
+
+Run:  python examples/tahoma_browser.py
+"""
+
+from repro.guestos import boot_kernel
+from repro.guestos.fs.inode import InodeType
+from repro.machine import Machine
+from repro.systems import Tahoma
+from repro.testbed import enter_vm_kernel
+
+SITES = ("news.example", "mail.example", "bank.example")
+
+
+def build_browser_os(optimized: bool):
+    """One manager VM + one VM per browser instance."""
+    machine = Machine()
+    manager_vm = machine.hypervisor.create_vm("manager")
+    manager_os = boot_kernel(machine, manager_vm)
+
+    # The manager owns the cookie jar and bookmarks.
+    root = manager_os.rootfs.root()
+    var = manager_os.rootfs.lookup(root, "var")
+    cookies = manager_os.rootfs.create(var, "cookies.db", InodeType.FILE)
+    bookmarks = manager_os.rootfs.create(var, "bookmarks", InodeType.FILE)
+    assert bookmarks.data is not None
+    bookmarks.data += b"https://conf.example/isca2015\n"
+
+    instances = []
+    for i, site in enumerate(SITES):
+        vm = machine.hypervisor.create_vm(f"browser{i}")
+        kernel = boot_kernel(machine, vm)
+        tahoma = Tahoma(machine, vm, manager_vm, optimized=optimized,
+                        port=8080 + i)
+        enter_vm_kernel(machine, vm)
+        tahoma.setup()
+        enter_vm_kernel(machine, vm)
+        instances.append((site, vm, kernel, tahoma))
+    return machine, manager_os, instances
+
+
+def render_site(machine, site, vm, tahoma) -> None:
+    """One page load: layout work + two browser-calls."""
+    enter_vm_kernel(machine, vm)
+    machine.cpu.work(120_000, 45_000, kind="render")   # layout/JS
+    # browser-call 1: persist this site's cookie via the manager.
+    fd = tahoma.redirect_syscall("open", "/var/cookies.db", "rw")
+    tahoma.redirect_syscall("lseek", fd, 0, "end")
+    tahoma.redirect_syscall("write", fd, f"{site}: session=1\n".encode())
+    tahoma.redirect_syscall("close", fd)
+    # browser-call 2: fetch the bookmark list.
+    fd = tahoma.redirect_syscall("open", "/var/bookmarks", "r")
+    tahoma.redirect_syscall("read", fd, 4096)
+    tahoma.redirect_syscall("close", fd)
+
+
+def main() -> None:
+    for optimized in (False, True):
+        machine, manager_os, instances = build_browser_os(optimized)
+        label = ("VMFUNC browser-calls" if optimized
+                 else "XML-over-TCP browser-calls")
+        # Warm up one instance, then measure a page load per site.
+        render_site(machine, *_pick(instances[0]))
+        snap = machine.cpu.perf.snapshot()
+        for instance in instances:
+            render_site(machine, *_pick(instance))
+        delta = snap.delta(machine.cpu.perf.snapshot())
+
+        _, cookies = manager_os.vfs.resolve("/var/cookies.db")
+        jar = cookies.content().decode()
+        print(f"{label}:")
+        print(f"   page load avg: {delta.microseconds / len(SITES):.1f} us "
+              f"({delta.count('xml_marshal')} XML marshal steps, "
+              f"{delta.count('vmfunc_ept_switch')} VMFUNC switches)")
+        print(f"   manager cookie jar now holds "
+              f"{jar.count('session=1')} site sessions")
+        # Isolation: no browser VM ever saw another's cookie file.
+        for site, vm, kernel, _t in instances:
+            try:
+                kernel.vfs.resolve("/var/cookies.db")
+                raise AssertionError("cookie jar leaked into an instance!")
+            except Exception:
+                pass
+        print("   cookie jar is reachable only through browser-calls\n")
+
+
+def _pick(instance):
+    site, vm, kernel, tahoma = instance
+    return site, vm, tahoma
+
+
+if __name__ == "__main__":
+    main()

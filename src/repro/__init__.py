@@ -1,0 +1,59 @@
+"""CrossOver (ISCA 2015) reproduction: flexible cross-world calls.
+
+Public API re-exports the pieces a downstream user composes:
+
+* :class:`Machine` and the testbed builders — simulated hardware;
+* :class:`WorldRegistry` / :class:`WorldCallRuntime` — the CrossOver
+  contribution;
+* :class:`CrossVMSyscallMechanism` — the Section 4.3 VMFUNC
+  approximation;
+* the case-study systems under :mod:`repro.systems`;
+* the hardware feature sets selecting the mechanism generation.
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.crossvm import CrossVMSyscallMechanism
+from repro.core.world import World, WorldRegistry
+from repro.guestos import Kernel, Process, boot_kernel
+from repro.hw.costs import (
+    Cost,
+    CostModel,
+    FEATURES_BASELINE,
+    FEATURES_CROSSOVER,
+    FEATURES_VMFUNC,
+    HardwareFeatures,
+)
+from repro.machine import Machine
+from repro.testbed import (
+    build_single_vm_machine,
+    build_two_vm_machine,
+    enter_vm_kernel,
+    exit_to_host,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CallRequest",
+    "WorldCallRuntime",
+    "CrossVMSyscallMechanism",
+    "World",
+    "WorldRegistry",
+    "Kernel",
+    "Process",
+    "boot_kernel",
+    "Cost",
+    "CostModel",
+    "FEATURES_BASELINE",
+    "FEATURES_CROSSOVER",
+    "FEATURES_VMFUNC",
+    "HardwareFeatures",
+    "Machine",
+    "build_single_vm_machine",
+    "build_two_vm_machine",
+    "enter_vm_kernel",
+    "exit_to_host",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Analysis & reporting: experiment runners, table formatters, paper
+reference values, and the ``crossover-report`` CLI that regenerates
+every table/figure of the evaluation."""
+
+from repro.analysis.calibration import PAPER
+from repro.analysis.measure import Measurement, measured_region
+from repro.analysis.tables import format_table
+
+__all__ = ["PAPER", "Measurement", "measured_region", "format_table"]

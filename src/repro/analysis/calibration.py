@@ -1,0 +1,107 @@
+"""The paper's published numbers, as structured reference data.
+
+Every benchmark prints its measured values next to these, and the
+shape-checking tests assert the reproduction criteria from DESIGN.md
+against them.
+"""
+
+from __future__ import annotations
+
+#: Table 4 — microbenchmark latencies in microseconds:
+#: op -> (guest native, {system: (original, optimized)}).
+TABLE4_US = {
+    "NULL system call": (0.29, {
+        "Proxos": (3.35, 0.42), "HyperShell": (2.60, 0.72),
+        "Tahoma": (42.0, 0.68), "ShadowContext": (3.40, 0.71)}),
+    "NULL I/O": (0.34, {
+        "Proxos": (2.44, 0.50), "HyperShell": (2.57, 0.80),
+        "Tahoma": (42.6, 0.72), "ShadowContext": (3.67, 0.79)}),
+    "open & close": (1.38, {
+        "Proxos": (8.18, 1.91), "HyperShell": (6.03, 2.29),
+        "Tahoma": (89.1, 2.21), "ShadowContext": (7.52, 2.26)}),
+    "stat": (0.55, {
+        "Proxos": (4.31, 0.69), "HyperShell": (2.87, 0.98),
+        "Tahoma": (43.5, 0.94), "ShadowContext": (3.69, 0.99)}),
+    "pipe": (3.34, {
+        "Proxos": (15.79, 4.73), "HyperShell": (13.1, 4.99),
+        "Tahoma": (172.6, 4.95), "ShadowContext": (17.10, 5.02)}),
+}
+
+#: Table 5 — utility tools in milliseconds:
+#: tool -> (guest native, w/o CrossOver, w/ CrossOver).
+TABLE5_MS = {
+    "pstree": (6.00, 26.32, 8.40),
+    "w": (3.78, 20.00, 5.58),
+    "grep": (0.93, 3.50, 1.57),
+    "users": (1.00, 3.67, 1.63),
+    "uptime": (1.09, 6.97, 1.85),
+    "ls": (1.14, 6.55, 1.72),
+}
+
+#: Table 6 — OpenSSH scp throughput in MB/s:
+#: size MB -> (guest native, w/ CrossOver, w/o CrossOver).
+TABLE6_MBS = {
+    128: (64.0, 42.7, 25.6),
+    256: (64.0, 42.7, 23.3),
+    512: (56.9, 42.7, 23.3),
+    1024: (53.9, 44.5, 23.3),
+}
+
+#: Table 7 — instruction counts in QEMU:
+#: op -> (native, w/ CrossOver, w/o CrossOver).
+TABLE7_INSNS = {
+    "getppid": (1847, 1880, 2996),
+    "stat": (1224, 1257, 2341),
+    "read": (482, 515, 1593),
+    "write": (439, 472, 1534),
+    "fstat": (494, 527, 1704),
+    "open/close": (1924, 1957, 3055),
+}
+
+#: Table 3 — hop counts per world-call type:
+#: (src, dst) -> dict with hg/ring/space switch flags and per-mechanism
+#: hops (None where the paper leaves the cell empty).
+TABLE3_HOPS = {
+    ("U(vm1)", "K(host)"): dict(hg=True, ring=True, space=True,
+                                hw=1, sw=None, vmfunc=None, crossover=1),
+    ("K(vm1)", "K(host)"): dict(hg=True, ring=True, space=True,
+                                hw=1, sw=None, vmfunc=None, crossover=1),
+    ("U(vm1)", "K(vm1)"): dict(hg=False, ring=True, space=False,
+                               hw=1, sw=None, vmfunc=None, crossover=1),
+    ("U(host)", "K(host)"): dict(hg=False, ring=True, space=False,
+                                 hw=1, sw=None, vmfunc=None, crossover=1),
+    ("U(vm1)", "U(host)"): dict(hg=True, ring=True, space=True,
+                                hw=None, sw=3, vmfunc=None, crossover=1),
+    ("K(vm1)", "U(host)"): dict(hg=True, ring=True, space=True,
+                                hw=None, sw=2, vmfunc=None, crossover=1),
+    ("U(host)", "U(host)'"): dict(hg=False, ring=False, space=True,
+                                  hw=None, sw=2, vmfunc=None, crossover=1),
+    ("K(vm1)", "K(vm2)"): dict(hg=False, ring=False, space=True,
+                               hw=None, sw=2, vmfunc=1, crossover=1),
+    ("U(vm1)", "U(vm2)"): dict(hg=False, ring=False, space=True,
+                               hw=None, sw=4, vmfunc=1, crossover=1),
+    ("U(vm1)", "K(vm2)"): dict(hg=False, ring=True, space=True,
+                               hw=None, sw=4, vmfunc=2, crossover=1),
+}
+
+#: Section 7.2: extra instructions per redirected syscall w/ CrossOver.
+CROSSOVER_EXTRA_INSNS = 33
+
+#: Figure 2 crossing counts per system baseline.
+FIGURE2_CROSSINGS = {
+    "Proxos": 6,
+    "HyperShell": 6,
+    "Tahoma": 6,
+    "ShadowContext": 8,
+}
+
+#: Aggregate reference bundle (convenient import).
+PAPER = {
+    "table4_us": TABLE4_US,
+    "table5_ms": TABLE5_MS,
+    "table6_mbs": TABLE6_MBS,
+    "table7_insns": TABLE7_INSNS,
+    "table3_hops": TABLE3_HOPS,
+    "figure2_crossings": FIGURE2_CROSSINGS,
+    "crossover_extra_insns": CROSSOVER_EXTRA_INSNS,
+}

@@ -1,0 +1,83 @@
+"""Measurement helpers: bracket a workload, read the counter delta."""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.hw.costs import us
+from repro.hw.perf import PerfDelta
+from repro.machine import Machine
+
+
+@dataclass
+class Measurement:
+    """One measured region, with convenience accessors."""
+
+    label: str
+    delta: PerfDelta
+    iterations: int = 1
+
+    @property
+    def cycles(self) -> float:
+        """Cycles per iteration."""
+        return self.delta.cycles / self.iterations
+
+    @property
+    def instructions(self) -> float:
+        """Instructions per iteration."""
+        return self.delta.instructions / self.iterations
+
+    @property
+    def microseconds(self) -> float:
+        """Latency per iteration (us at 3.4 GHz)."""
+        return us(self.cycles)
+
+    @property
+    def milliseconds(self) -> float:
+        """Latency per iteration (ms)."""
+        return self.microseconds / 1000.0
+
+    @property
+    def world_switches(self) -> float:
+        """World switches per iteration."""
+        return self.delta.world_switches / self.iterations
+
+
+class _Region:
+    """Mutable holder filled when the context manager exits."""
+
+    def __init__(self) -> None:
+        self.measurement: Optional[Measurement] = None
+
+
+@contextlib.contextmanager
+def measured_region(machine: Machine, label: str = "",
+                    iterations: int = 1) -> Iterator[_Region]:
+    """Context manager measuring the enclosed simulated work::
+
+        with measured_region(machine, "null syscall", n) as region:
+            for _ in range(n):
+                proc.syscall("getppid")
+        print(region.measurement.microseconds)
+    """
+    start = machine.cpu.perf.snapshot()
+    region = _Region()
+    yield region
+    delta = start.delta(machine.cpu.perf.snapshot())
+    region.measurement = Measurement(label, delta, iterations)
+
+
+def measure_callable(machine: Machine, fn: Callable[[], None], *,
+                     label: str = "", iterations: int = 3,
+                     warmup: int = 1) -> Measurement:
+    """Run ``fn`` ``warmup`` times unmeasured, then ``iterations`` times
+    measured; returns the per-iteration measurement."""
+    for _ in range(warmup):
+        fn()
+    with measured_region(machine, label, iterations) as region:
+        for _ in range(iterations):
+            fn()
+    assert region.measurement is not None
+    return region.measurement

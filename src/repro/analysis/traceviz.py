@@ -1,0 +1,112 @@
+"""Trace visualization: render transition traces as Figure-2-style
+sequence diagrams.
+
+Each world the trace visits becomes a lane; every transition becomes an
+arrow between lanes, labelled with the event kind.  The report's
+Figure-2 section uses this to show the measured call paths the way the
+paper draws them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.hw.trace import TransitionEvent
+
+#: Canonical lane ordering: guest user, guest kernel, host (Figure 2's
+#: vertical axis), with unknown labels appended in arrival order.
+_RING_ORDER = {"U(": 0, "K(": 1}
+
+
+def _lane_sort_key(label: str, arrival: int) -> tuple:
+    host = "host" in label
+    ring = 0 if label.startswith("U(") else 1
+    return (1 if host else 0, ring, arrival)
+
+
+def lanes_for(events: Sequence[TransitionEvent]) -> List[str]:
+    """The worlds a trace visits, in diagram order."""
+    seen: List[str] = []
+    for event in events:
+        for label in (event.frm, event.to):
+            if label not in seen:
+                seen.append(label)
+    return sorted(seen, key=lambda l: _lane_sort_key(l, seen.index(l)))
+
+
+def render_sequence(events: Sequence[TransitionEvent],
+                    title: str = "") -> str:
+    """Render a trace as an ASCII sequence diagram.
+
+    Example output::
+
+        U(vm1)      K(vm1)      K(host)
+          |--trap---->|           |
+          |           |--vmcall-->|
+          ...
+    """
+    events = list(events)
+    if not events:
+        return "(empty trace)"
+    lanes = lanes_for(events)
+    width = max(len(lane) for lane in lanes) + 6
+    index = {lane: i for i, lane in enumerate(lanes)}
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("".join(lane.ljust(width) for lane in lanes))
+
+    for event in events:
+        src, dst = index[event.frm], index[event.to]
+        row = [" " * width] * len(lanes)
+        for i in range(len(lanes)):
+            row[i] = "|".ljust(width)
+        if src == dst:
+            marker = f"({_short(event.kind)})"
+            row[src] = ("|" + marker).ljust(width)
+        else:
+            left, right = min(src, dst), max(src, dst)
+            label = _short(event.kind)
+            span = width * (right - left) - 1
+            if src < dst:
+                arrow = ("-" + label).ljust(span - 1, "-") + ">"
+            else:
+                arrow = "<" + ("-" + label).ljust(span - 1, "-")
+            row[left] = "|" + arrow
+            for i in range(left + 1, right + 1):
+                row[i] = ""
+            row[right] = "|".ljust(width)
+        lines.append("".join(cell for cell in row).rstrip())
+    return "\n".join(lines)
+
+
+_SHORT_NAMES = {
+    "syscall_trap": "trap",
+    "sysret": "ret",
+    "vmexit": "exit",
+    "vmentry": "enter",
+    "vmfunc_ept_switch": "vmfunc",
+    "world_call": "wcall",
+    "irq_deliver": "irq",
+    "context_switch": "ctxsw",
+    "vm_schedule": "sched",
+    "cr3_write": "cr3",
+}
+
+
+def _short(kind: str) -> str:
+    return _SHORT_NAMES.get(kind, kind[:6])
+
+
+def summarize(events: Sequence[TransitionEvent]) -> dict:
+    """Aggregate statistics over a trace region."""
+    kinds: dict = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+    return {
+        "events": len(events),
+        "worlds": len(lanes_for(events)),
+        "kinds": kinds,
+        "cycles_in_transitions": sum(e.cycles for e in events),
+    }

@@ -1,0 +1,42 @@
+"""CrossOver: the paper's primary contribution.
+
+Public surface:
+
+* :class:`~repro.core.world.World` / :class:`~repro.core.world.WorldRegistry`
+  — world registration (WID allocation through the hypervisor);
+* :class:`~repro.core.call.WorldCallRuntime` — the software half of
+  cross-world calls: caller state stacks, parameter marshaling, callee
+  authorization, call/return control-flow integrity, watchdog timeouts;
+* :class:`~repro.core.channel.Channel` — shared-memory parameter areas;
+* :mod:`~repro.core.authorization` — callee-side policies;
+* :class:`~repro.core.binding.BindingTable` — the Section 3.4 hardware
+  authorization ablation;
+* :mod:`~repro.core.crossvm` — the Section 4.3 cross-VM syscall
+  mechanism built on *plain VMFUNC* (the real-hardware approximation).
+"""
+
+from repro.core.authorization import (
+    AllowAllPolicy,
+    AllowListPolicy,
+    DenyAllPolicy,
+    PerWorldServicePolicy,
+)
+from repro.core.binding import BindingTable
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.channel import Channel
+from repro.core.crossvm import CrossVMSyscallMechanism
+from repro.core.world import World, WorldRegistry
+
+__all__ = [
+    "AllowAllPolicy",
+    "AllowListPolicy",
+    "DenyAllPolicy",
+    "PerWorldServicePolicy",
+    "BindingTable",
+    "CallRequest",
+    "WorldCallRuntime",
+    "Channel",
+    "CrossVMSyscallMechanism",
+    "World",
+    "WorldRegistry",
+]

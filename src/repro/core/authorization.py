@@ -1,0 +1,86 @@
+"""Callee-side authorization policies.
+
+CrossOver separates *authentication* (hardware: the unforgeable caller
+WID delivered with every world call) from *authorization* (software:
+the callee decides, per call, whether that WID may proceed — Section
+3.1).  These policies are the software half; the runtime consults the
+callee world's policy right after entry.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Set
+
+from repro.errors import AuthorizationDenied
+
+
+class Policy:
+    """Interface: decide whether a caller WID is allowed."""
+
+    def check(self, caller_wid: int) -> None:
+        """Raise :class:`AuthorizationDenied` to refuse the call."""
+        raise NotImplementedError
+
+    def service_for(self, caller_wid: int) -> Optional[str]:
+        """Optional per-caller service selector (Section 3.4: a callee
+        can offer "different services for different worlds" while
+        registering only one hardware world)."""
+        return None
+
+
+class AllowAllPolicy(Policy):
+    """Accept every authenticated caller (one-way isolation cases)."""
+
+    def check(self, caller_wid: int) -> None:
+        return None
+
+
+class DenyAllPolicy(Policy):
+    """Refuse everything (a callee being torn down)."""
+
+    def check(self, caller_wid: int) -> None:
+        raise AuthorizationDenied(caller_wid, "callee accepts no calls")
+
+
+class AllowListPolicy(Policy):
+    """Accept only explicitly granted WIDs."""
+
+    def __init__(self, allowed: Iterable[int] = ()) -> None:
+        self._allowed: Set[int] = set(allowed)
+
+    def grant(self, wid: int) -> None:
+        """Add a WID to the allow list."""
+        self._allowed.add(wid)
+
+    def revoke(self, wid: int) -> None:
+        """Remove a WID from the allow list."""
+        self._allowed.discard(wid)
+
+    def check(self, caller_wid: int) -> None:
+        if caller_wid not in self._allowed:
+            raise AuthorizationDenied(caller_wid, "not on the allow list")
+
+
+class PerWorldServicePolicy(Policy):
+    """Allow-list plus a per-caller service label.
+
+    Models Section 3.4's flexibility argument: one registered world can
+    expose different services to different callers — something the
+    hardware binding-table alternative cannot express.
+    """
+
+    def __init__(self, services: Dict[int, str],
+                 default: Optional[str] = None) -> None:
+        self._services = dict(services)
+        self._default = default
+
+    def grant(self, wid: int, service: str) -> None:
+        """Map a caller WID to a service label."""
+        self._services[wid] = service
+
+    def check(self, caller_wid: int) -> None:
+        if caller_wid not in self._services and self._default is None:
+            raise AuthorizationDenied(caller_wid, "no service mapped")
+
+    def service_for(self, caller_wid: int) -> Optional[str]:
+        return self._services.get(caller_wid, self._default)

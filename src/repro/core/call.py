@@ -1,0 +1,313 @@
+"""The world-call runtime: the software half of CrossOver.
+
+Implements the protocol of Section 3.3 around the hardware
+``world_call`` instruction:
+
+* **caller side** — saves running state onto the caller's own stack
+  (kept in its memory, isolated from the callee), records the expected
+  callee WID, marshals parameters (registers if small, shared-memory
+  channel otherwise), issues ``world_call``, and on return verifies
+  call/return control-flow integrity before restoring state;
+* **callee side** — authorizes the hardware-delivered caller WID
+  against its policy, reloads its service process so the guest OS
+  scheduler stays consistent (Section 5.3), runs the entry handler,
+  marshals the result, and issues the returning ``world_call``;
+* **failure handling** — remote errno errors are marshaled back and
+  re-raised at the caller; a hung callee is recovered through the
+  hypervisor watchdog (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core import convention
+from repro.core.binding import BindingTable
+from repro.core.channel import Channel, next_channel_gva
+from repro.core.world import World, WorldRegistry
+from repro.errors import (
+    AuthorizationDenied,
+    CalleeHang,
+    CallTimeout,
+    ControlFlowViolation,
+    GuestOSError,
+    SimulationError,
+    WorldCallError,
+)
+from repro.hw.costs import Cost
+from repro.hw.cpu import Mode, WID_REGISTER
+
+
+@dataclass
+class CallRequest:
+    """What a callee's entry handler receives."""
+
+    caller_wid: int
+    payload: Any
+    service: Optional[str] = None
+
+
+#: Section 5.3 scheduler-awareness: cost of reloading the service
+#: process state when a world call lands in a kernel world.
+_SCHED_RELOAD = Cost(15, 50)
+
+
+class WorldCallRuntime:
+    """Software support for cross-world calls on one machine."""
+
+    def __init__(self, machine, registry: Optional[WorldRegistry] = None, *,
+                 binding_table: Optional[BindingTable] = None) -> None:
+        self.machine = machine
+        self.registry = registry if registry is not None else WorldRegistry(
+            machine)
+        self.binding_table = binding_table
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self.calls_completed = 0
+
+    # ------------------------------------------------------------------
+    # setup (one-time, Section 3.3 "World-call setup")
+    # ------------------------------------------------------------------
+
+    def setup_channel(self, a: World, b: World, pages: int = 1) -> Channel:
+        """Create the shared parameter/return area between two worlds.
+
+        "Such mapping may require vmcalls or syscalls, but it is a
+        one-time effort."  Charged as a hypercall when issued from a
+        guest context.
+        """
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        vms = [w.entry.owner_vm for w in (a, b)
+               if w.entry.owner_vm is not None]
+        if cpu.mode is Mode.NON_ROOT:
+            region = hypervisor.hypercall(
+                cpu, 0x20, self._peer_vm_name(a, b), pages, "world-channel")
+        else:
+            region = hypervisor.create_shared_region(vms, pages,
+                                                     "world-channel")
+        gva = next_channel_gva(pages)
+        channel = Channel(region, gva)
+        for world in (a, b):
+            channel.map_into(world.entry.page_table,
+                             user=world.entry.ring == 3)
+        self._channels[(a.wid, b.wid)] = channel
+        self._channels[(b.wid, a.wid)] = channel
+        return channel
+
+    def _peer_vm_name(self, a: World, b: World) -> str:
+        for world in (b, a):
+            if world.entry.owner_vm is not None:
+                return world.entry.owner_vm.name
+        raise SimulationError("channel setup needs at least one guest world")
+
+    def channel_between(self, a: World, b: World) -> Optional[Channel]:
+        """The channel two worlds share, if one was set up."""
+        return self._channels.get((a.wid, b.wid))
+
+    def arm_watchdog(self, caller: World, budget_cycles: int = 10_000_000
+                     ) -> None:
+        """Arm the callee-DoS watchdog for ``caller`` (Section 3.4).
+
+        Requires a hypervisor round trip, so callers arm "a relatively
+        long timer for multiple world-calls to amortize the overhead".
+        """
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        if cpu.mode is Mode.NON_ROOT:
+            cpu.vmexit("vmcall", "arm watchdog")
+            cpu.charge("vmexit_handle")
+            cpu.charge("hypercall_dispatch")
+            cpu.charge("timer_program")
+            hypervisor.armed_timeouts[cpu.cpu_id] = (caller.entry,
+                                                     budget_cycles)
+            assert cpu.current_vmcs is not None
+            cpu.vmentry(cpu.current_vmcs, "resume")
+        else:
+            cpu.charge("timer_program")
+            hypervisor.armed_timeouts[cpu.cpu_id] = (caller.entry,
+                                                     budget_cycles)
+        caller.watchdog_armed = True
+
+    # ------------------------------------------------------------------
+    # the call itself
+    # ------------------------------------------------------------------
+
+    def call(self, caller: World, callee_wid: int, payload: Any = None, *,
+             authorize: bool = True) -> Any:
+        """Perform one complete cross-world call and return its result.
+
+        ``authorize=False`` runs the Section 7.2 minimal-instrumentation
+        mode: the callee's software authorization *and* the scheduler
+        state reload are skipped ("stacks are all pre-allocated ...
+        software didn't authenticate the caller during this
+        evaluation").  It is also the right setting when authorization
+        is delegated to the hardware binding table.
+        """
+        cpu = self.machine.cpu
+        if not caller.matches_cpu(cpu):
+            raise SimulationError(
+                f"CPU is not executing in caller world {caller.label} "
+                f"(currently {cpu.world_label})")
+
+        if self.binding_table is not None:
+            self.binding_table.check(cpu, caller.wid, callee_wid)
+
+        wire = convention.encode(payload)
+        in_registers = convention.fits_registers(wire)
+        channel = self._channels.get((caller.wid, callee_wid))
+        if not in_registers and channel is None:
+            raise WorldCallError(
+                f"payload of {len(wire)}B needs a shared-memory channel; "
+                "call setup_channel() first")
+
+        # Caller saves its running state in its own memory space.
+        cpu.charge("world_save_state")
+        caller.call_stack.append({
+            "expected_callee": callee_wid,
+            "regs": cpu.regs.snapshot(),
+            "kernel_current": (caller.kernel.current
+                               if caller.kernel is not None else None),
+        })
+        cpu.charge("world_param_setup")
+        if not in_registers:
+            assert channel is not None
+            channel.write_payload(cpu, self.machine.memory, wire)
+
+        delivered_caller_wid = self.machine.hypervisor.worlds.world_call(
+            cpu, callee_wid)
+
+        # --- CPU is now in the callee's context -----------------------
+        callee = self.registry.get(callee_wid)
+        try:
+            result = self._run_callee(callee, callee_wid,
+                                      delivered_caller_wid, wire,
+                                      in_registers, channel, authorize)
+        except CalleeHang:
+            return self._recover_from_hang(caller, callee)
+
+        result_wire = convention.encode(result)
+        result_in_regs = convention.fits_registers(result_wire)
+        if not result_in_regs:
+            if channel is None:
+                raise WorldCallError(
+                    f"result of {len(result_wire)}B needs a channel")
+            cpu.charge("world_param_setup")
+            channel.write_payload(cpu, self.machine.memory, result_wire)
+
+        # The callee returns by issuing world_call back to the caller.
+        self.machine.hypervisor.worlds.world_call(cpu, delivered_caller_wid)
+
+        # --- back in the caller ----------------------------------------
+        returned_from = cpu.regs.read(WID_REGISTER)
+        cpu.charge("world_restore_state")
+        saved = caller.call_stack.pop()
+        if returned_from != saved["expected_callee"]:
+            raise ControlFlowViolation(
+                f"world call to {saved['expected_callee']} returned from "
+                f"world {returned_from}")
+        cpu.regs.restore(saved["regs"])
+        if caller.kernel is not None and saved["kernel_current"] is not None:
+            caller.kernel.current = saved["kernel_current"]
+
+        if not result_in_regs:
+            assert channel is not None
+            result_wire = channel.read_payload(cpu, self.machine.memory)
+        value = convention.decode(result_wire)
+        if isinstance(value, GuestOSError):
+            raise value
+        if isinstance(value, tuple) and len(value) == 2 and \
+                value[0] == "__denied__":
+            raise AuthorizationDenied(caller.wid, value[1])
+        if isinstance(value, tuple) and len(value) == 2 and \
+                value[0] == "__wcerr__":
+            raise WorldCallError(value[1])
+        self.calls_completed += 1
+        return value
+
+    # ------------------------------------------------------------------
+    # callee side
+    # ------------------------------------------------------------------
+
+    def _run_callee(self, callee: Optional[World], callee_wid: int,
+                    caller_wid: int, wire: bytes, in_registers: bool,
+                    channel: Optional[Channel], authorize: bool) -> Any:
+        cpu = self.machine.cpu
+        if callee is None:
+            raise SimulationError(
+                f"world {callee_wid} exists in hardware but has no "
+                "registered software handler")
+        if callee.handler is None:
+            raise SimulationError(f"{callee.label} has no entry handler")
+        if callee.busy:
+            # Reported to the caller as an error result so its context
+            # is restored by the normal return path (Section 5.3: one
+            # outstanding call per world).
+            return ("__wcerr__",
+                    f"concurrent world call into {callee.label} "
+                    "(not supported; Section 5.3)")
+        callee.busy = True
+        saved_current = None
+        try:
+            # Section 5.3: make the callee OS aware of the world switch
+            # (skipped, like authorization, in minimal mode).
+            if callee.kernel is not None:
+                saved_current = callee.kernel.current
+                if callee.process is not None:
+                    callee.kernel.current = callee.process
+                if authorize:
+                    cpu.perf.charge("sched_reload", _SCHED_RELOAD)
+            if authorize:
+                cpu.charge("world_authorize")
+                try:
+                    callee.policy.check(caller_wid)
+                except AuthorizationDenied as denied:
+                    return ("__denied__", denied.detail or str(denied))
+            if in_registers:
+                payload = convention.decode(wire)
+            else:
+                assert channel is not None
+                payload = convention.decode(
+                    channel.read_payload(cpu, self.machine.memory))
+            request = CallRequest(
+                caller_wid=caller_wid, payload=payload,
+                service=callee.policy.service_for(caller_wid))
+            try:
+                return callee.handler(request)
+            except CalleeHang:
+                raise        # handled by the watchdog path in call()
+            except GuestOSError as err:
+                return err   # marshaled back, re-raised at the caller
+            except AuthorizationDenied as denied:
+                # Handlers may refuse at a finer granularity than the
+                # entry policy (e.g. per-service); the refusal travels
+                # back like a policy denial so the caller's context is
+                # restored properly.
+                return ("__denied__", denied.detail or str(denied))
+            except WorldCallError as err:
+                # A failure of a *nested* call the handler made (busy
+                # peer, missing channel): report it to our caller with
+                # its context intact rather than unwinding raw.
+                return ("__wcerr__", str(err))
+        finally:
+            callee.busy = False
+            if callee.kernel is not None:
+                callee.kernel.current = saved_current
+
+    # ------------------------------------------------------------------
+    # watchdog recovery
+    # ------------------------------------------------------------------
+
+    def _recover_from_hang(self, caller: World, callee: Optional[World]
+                           ) -> Any:
+        cpu = self.machine.cpu
+        if not caller.watchdog_armed:
+            raise WorldCallError(
+                f"callee {callee.label if callee else '?'} never returned "
+                "and no watchdog was armed: the caller is wedged")
+        self.machine.hypervisor.fire_world_call_timeout(cpu)
+        caller.call_stack.pop()
+        caller.watchdog_armed = False
+        raise CallTimeout(
+            f"world call from {caller.label} cancelled by the hypervisor "
+            "watchdog")

@@ -1,0 +1,85 @@
+"""Shared-memory call channels.
+
+A :class:`Channel` is the per-pair parameter/return area of Section
+3.3's world-call setup: a hypervisor-mediated shared region mapped at
+the same virtual address in the caller's and callee's address spaces.
+Reads and writes go through the CPU's virtual-memory path, so a channel
+that was never mapped into a world's page table or EPT genuinely
+faults — isolation is enforced, not assumed.
+
+Layout: ``[8-byte big-endian length][payload]``.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SimulationError
+from repro.hw.mem import PAGE_SIZE
+from repro.hypervisor.shared_memory import SharedMemoryRegion
+
+#: Virtual-address arena where channels are mapped (same GVA in every
+#: participating address space).
+CHANNEL_GVA_BASE = 0x6000_0000
+
+_channel_slots = itertools.count(0)
+
+
+def next_channel_gva(pages: int) -> int:
+    """Reserve a distinct, machine-wide channel virtual address range."""
+    slot = next(_channel_slots)
+    gva = CHANNEL_GVA_BASE + slot * 64 * PAGE_SIZE
+    if pages > 64:
+        raise SimulationError("channel larger than its 64-page GVA slot")
+    return gva
+
+
+class Channel:
+    """One mapped shared-memory call channel."""
+
+    HEADER = 8
+
+    def __init__(self, region: SharedMemoryRegion, gva: int) -> None:
+        self.region = region
+        self.gva = gva
+
+    @property
+    def capacity(self) -> int:
+        """Maximum payload size in bytes."""
+        return self.region.size - self.HEADER
+
+    def map_into(self, page_table, *, user: bool) -> None:
+        """Map the channel at its GVA in one more address space."""
+        self.region.map_into_page_table(page_table, self.gva, user=user)
+
+    # -- CPU-mediated access (charged, permission-checked) --------------
+
+    def write_payload(self, cpu, memory, data: bytes) -> None:
+        """Write a payload through the current world's mappings."""
+        if len(data) > self.capacity:
+            raise SimulationError(
+                f"payload of {len(data)}B exceeds channel capacity "
+                f"{self.capacity}B")
+        header = len(data).to_bytes(self.HEADER, "big")
+        cpu.write_virt(memory, self.gva, header + data)
+
+    def read_payload(self, cpu, memory) -> bytes:
+        """Read the current payload through the current world's mappings."""
+        header = cpu.read_virt(memory, self.gva, self.HEADER, charge=False)
+        length = int.from_bytes(header, "big")
+        if length > self.capacity:
+            raise SimulationError("corrupt channel header")
+        return cpu.read_virt(memory, self.gva + self.HEADER, length)
+
+    # -- host-side (hypervisor) access, used by host worlds -------------
+
+    def host_write(self, data: bytes) -> None:
+        """Host-side payload write (no guest mappings involved)."""
+        header = len(data).to_bytes(self.HEADER, "big")
+        self.region.write(0, header + data)
+
+    def host_read(self) -> bytes:
+        """Host-side payload read."""
+        header = self.region.read(0, self.HEADER)
+        length = int.from_bytes(header, "big")
+        return self.region.read(self.HEADER, length)

@@ -1,0 +1,91 @@
+"""The calling convention: marshaling values across worlds.
+
+The caller and callee "negotiate the calling convention during setup and
+simple parameters can be passed directly through registers" (Section
+3.3).  We model that split:
+
+* payloads whose wire form fits :data:`REGISTER_BUDGET` bytes are
+  "register-passed" — no shared-memory copy is charged;
+* larger payloads go through the shared-memory channel, charged by size.
+
+The wire format is a restricted, reversible literal encoding (no pickle:
+a malicious peer must not gain code execution through the channel).
+Guest-kernel result types (:class:`StatResult`, :class:`GuestOSError`)
+get explicit tagged encodings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any
+
+from repro.errors import GuestOSError, SimulationError
+from repro.guestos.fs.inode import InodeType, StatResult
+
+#: Bytes of arguments that fit in registers (6 GPRs x 8 bytes).
+REGISTER_BUDGET = 48
+
+_STAT_TAG = "__stat__"
+_ERR_TAG = "__errno__"
+_BYTES_TAG = "__bytes__"
+
+
+def _to_wire(value: Any) -> Any:
+    """Convert to literal-encodable form (tagging rich types)."""
+    if isinstance(value, StatResult):
+        fields = (value.ino, value.type.value, value.mode, value.uid,
+                  value.gid, value.size, value.nlink, value.atime,
+                  value.mtime, value.ctime)
+        return (_STAT_TAG, fields)
+    if isinstance(value, GuestOSError):
+        return (_ERR_TAG, value.errno, value.message)
+    if isinstance(value, bytes):
+        return (_BYTES_TAG, value.hex())
+    if isinstance(value, tuple):
+        return tuple(_to_wire(v) for v in value)
+    if isinstance(value, list):
+        return [_to_wire(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _to_wire(v) for k, v in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise SimulationError(f"cannot marshal {type(value).__name__} "
+                          "across worlds")
+
+
+def _from_wire(value: Any) -> Any:
+    """Inverse of :func:`_to_wire`."""
+    if isinstance(value, tuple):
+        if len(value) == 2 and value[0] == _STAT_TAG:
+            f = value[1]
+            return StatResult(ino=f[0], type=InodeType(f[1]), mode=f[2],
+                              uid=f[3], gid=f[4], size=f[5], nlink=f[6],
+                              atime=f[7], mtime=f[8], ctime=f[9])
+        if len(value) == 3 and value[0] == _ERR_TAG:
+            return GuestOSError(value[1], value[2])
+        if len(value) == 2 and value[0] == _BYTES_TAG:
+            return bytes.fromhex(value[1])
+        return tuple(_from_wire(v) for v in value)
+    if isinstance(value, list):
+        return [_from_wire(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _from_wire(v) for k, v in value.items()}
+    return value
+
+
+def encode(value: Any) -> bytes:
+    """Marshal ``value`` to its wire form."""
+    return repr(_to_wire(value)).encode()
+
+
+def decode(data: bytes) -> Any:
+    """Unmarshal wire bytes (literal-eval only; never executes code)."""
+    try:
+        return _from_wire(ast.literal_eval(data.decode()))
+    except (ValueError, SyntaxError) as err:
+        raise SimulationError(f"corrupt wire payload: {err}") from err
+
+
+def fits_registers(data: bytes) -> bool:
+    """Whether a wire payload is small enough for register passing."""
+    return len(data) <= REGISTER_BUDGET

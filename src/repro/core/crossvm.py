@@ -1,0 +1,258 @@
+"""Cross-VM system calls over plain VMFUNC (Section 4.3, Figure 4).
+
+This is the paper's *real-hardware approximation* of CrossOver: no
+world table, no ``world_call`` — only Intel's shipping VMFUNC fn 0
+(exit-free EPTP switching).  The software scaffolding makes up for the
+missing hardware:
+
+* a **read-only cross-ring code page** mapped at the same guest-physical
+  address in every VM and into the kernel space of every process, so
+  execution continues seamlessly across the EPT switch;
+* a **helper context**: a page table whose CR3 *value* is identical in
+  both VMs (VMFUNC does not switch CR3) mapping only common-GPA pages;
+* a **transition IDT** (``IDT2``) installed, with interrupts disabled,
+  around the switch so a stray interrupt cannot vector through the
+  wrong VM's handlers;
+* an **inter-VM shared user page** carrying the saved context, the
+  calling information, and the returned buffer.
+
+The sequence is exactly Figure 4's:
+
+====  =================  =========================================
+step  context            action
+====  =================  =========================================
+ 1    VM1 app            system call (trap to the VM1 kernel)
+ 2    VM1 kernel         CR3 = helper; cli; IDT = IDT2
+ 3    VM1 helper         save context, write calling info, VMFUNC
+ 4    VM2 kernel         sti; dispatch + execute the system call
+ 5    VM2 kernel         write returned buffer; cli; VMFUNC
+ 6    VM1 helper         IDT = IDT1; sti; read result; CR3 = proc
+ 7    VM1 kernel         return to the app (sysret)
+====  =================  =========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core import convention
+from repro.errors import ConfigurationError, GuestOSError, SimulationError
+from repro.guestos.kernel import Kernel
+from repro.guestos.process import Process
+from repro.hw.cpu import Mode, Ring, VMFUNC_EPT_SWITCH
+from repro.hw.idt import IDT
+from repro.hw.mem import PAGE_SIZE
+from repro.hw.paging import PageTable
+from repro.hypervisor.hypercalls import Hypercall
+from repro.hypervisor.vm import VirtualMachine
+
+#: Where the cross-ring code page sits in every address space
+#: (kernel-space: supervisor-only, read-only, executable).
+CROSS_CODE_GVA = 0x7FF0_0000
+
+#: Where the inter-VM shared user region sits in the helper context.
+SHARED_GVA = 0x7FE0_0000
+
+#: Pages in the inter-VM shared region (syscall results as large as a
+#: directory listing or a 64 KiB read must fit).
+SHARED_PAGES = 20
+
+#: Size of the saved-context record the helper writes (regs + flags).
+_CONTEXT_SAVE_BYTES = 160
+
+
+class _PairState:
+    """Per-(VM, VM) plumbing created once at setup time."""
+
+    def __init__(self, helper_pt: PageTable, idt2: IDT,
+                 helpers: Dict[str, Process]) -> None:
+        self.helper_pt = helper_pt
+        self.idt2 = idt2
+        self.helpers = helpers          # vm name -> helper process
+        self.calls = 0
+
+
+class CrossVMSyscallMechanism:
+    """The Section 4.3 cross-VM syscall machinery."""
+
+    def __init__(self, machine) -> None:
+        self.machine = machine
+        if not machine.features.vmfunc:
+            raise ConfigurationError(
+                "cross-VM syscalls via VMFUNC need VMFUNC hardware")
+        self._pairs: Dict[Tuple[str, str], _PairState] = {}
+
+    # ------------------------------------------------------------------
+    # one-time setup
+    # ------------------------------------------------------------------
+
+    def setup_pair(self, vm_a: VirtualMachine, vm_b: VirtualMachine
+                   ) -> _PairState:
+        """Prepare the helper context, code page, IDT2 and shared page
+        for a VM pair (idempotent)."""
+        key = self._key(vm_a, vm_b)
+        if key in self._pairs:
+            return self._pairs[key]
+        if vm_a.kernel is None or vm_b.kernel is None:
+            raise ConfigurationError("both VMs need booted kernels")
+
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        # Applications discover VM IDs through a hypercall (Section 4.3).
+        if cpu.mode is Mode.NON_ROOT and cpu.ring == int(Ring.KERNEL):
+            hypervisor.hypercall(cpu, Hypercall.QUERY_VMS)
+
+        # Cross-ring code page: one host frame at a common GPA, mapped
+        # into both VMs and into kernel space of every address space.
+        code_gpa = hypervisor.alloc_common_gpa(1)
+        code_frame = self.machine.memory.allocate("cross-ring-code")
+        shm_gpa = hypervisor.alloc_common_gpa(SHARED_PAGES)
+        shm_frames = [self.machine.memory.allocate(f"crossvm-shared[{i}]")
+                      for i in range(SHARED_PAGES)]
+        for vm in (vm_a, vm_b):
+            vm.map_frame(code_gpa, code_frame, writable=False)
+            for i, frame in enumerate(shm_frames):
+                vm.map_frame(shm_gpa + i * PAGE_SIZE, frame, writable=True)
+            kernel = vm.kernel
+            assert isinstance(kernel, Kernel)
+            self._map_cross_page(kernel.master_page_table, code_gpa)
+            for proc in kernel.processes.values():
+                self._map_cross_page(proc.page_table, code_gpa)
+
+        # Helper context: ONE page table object => literally the same
+        # CR3 value on both sides of the switch.
+        helper_pt = PageTable("crossvm-helper")
+        helper_pt.map(CROSS_CODE_GVA, code_gpa, writable=False, user=False,
+                      executable=True)
+        for i in range(SHARED_PAGES):
+            helper_pt.map(SHARED_GVA + i * PAGE_SIZE, shm_gpa + i * PAGE_SIZE,
+                          writable=True, user=True)
+
+        idt2 = IDT("crossvm-idt2")
+        helpers = {
+            vm_a.name: vm_a.kernel.spawn("crossvm-helper"),
+            vm_b.name: vm_b.kernel.spawn("crossvm-helper"),
+        }
+        state = _PairState(helper_pt, idt2, helpers)
+        self._pairs[key] = state
+        return state
+
+    def _map_cross_page(self, table: PageTable, code_gpa: int) -> None:
+        if table.entry(CROSS_CODE_GVA) is None:
+            table.map(CROSS_CODE_GVA, code_gpa, writable=False, user=False,
+                      executable=True)
+
+    @staticmethod
+    def _key(vm_a: VirtualMachine, vm_b: VirtualMachine) -> Tuple[str, str]:
+        return tuple(sorted((vm_a.name, vm_b.name)))  # type: ignore
+
+    @staticmethod
+    def _check_fits(payload_len: int) -> None:
+        capacity = SHARED_PAGES * PAGE_SIZE - _CONTEXT_SAVE_BYTES - 4
+        if payload_len > capacity:
+            raise SimulationError(
+                f"cross-VM payload of {payload_len}B exceeds the shared "
+                f"region capacity of {capacity}B")
+
+    # ------------------------------------------------------------------
+    # the redirected call
+    # ------------------------------------------------------------------
+
+    def call(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
+             name: str, *args, executor: Optional[Process] = None,
+             **kwargs) -> Any:
+        """Execute syscall ``name`` in ``to_vm``'s kernel.
+
+        Must be invoked from ``from_vm``'s kernel at CPL 0 — i.e. from
+        inside the syscall dispatcher (step 2 of Figure 4).  Remote
+        errno failures are re-raised locally.
+        """
+        def serve(payload):
+            r_name, r_args, r_kwargs = payload
+            remote_kernel = to_vm.kernel
+            assert isinstance(remote_kernel, Kernel)
+            state = self._pairs[self._key(from_vm, to_vm)]
+            runner = executor if executor is not None else \
+                state.helpers[to_vm.name]
+            return remote_kernel.execute_syscall(
+                runner, r_name, *r_args, **r_kwargs)
+
+        return self._roundtrip(from_vm, to_vm, (name, args, kwargs), serve)
+
+    def call_function(self, from_vm: VirtualMachine,
+                      to_vm: VirtualMachine,
+                      fn: Callable[[Any], Any], payload: Any = None) -> Any:
+        """Run an arbitrary kernel-side service in ``to_vm`` over the
+        same Figure-4 transition sequence.
+
+        Used by systems whose remote endpoint is not a syscall — e.g. a
+        split-driver backend's transmit routine or Tahoma's browser-call
+        dispatcher.  ``fn`` executes in ``to_vm``'s kernel context.
+        """
+        return self._roundtrip(from_vm, to_vm, payload, fn)
+
+    def _roundtrip(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
+                   request_obj: Any, server: Callable[[Any], Any]) -> Any:
+        state = self._pairs.get(self._key(from_vm, to_vm))
+        if state is None:
+            raise ConfigurationError(
+                f"setup_pair({from_vm.name}, {to_vm.name}) was never run")
+        cpu = self.machine.cpu
+        if cpu.mode is not Mode.NON_ROOT or cpu.vm_name != from_vm.name:
+            raise SimulationError(
+                f"cross-VM call must start in {from_vm.name}'s kernel, "
+                f"CPU is in {cpu.world_label}")
+        cpu.require_ring(int(Ring.KERNEL), "cross-VM call")
+        memory = self.machine.memory
+
+        saved_pt = cpu.page_table
+        saved_idt = cpu.interrupts.idt
+
+        # Step 2: enter the helper context.
+        cpu.write_cr3(state.helper_pt)
+        cpu.cli()
+        cpu.install_idt(state.idt2)
+
+        # Step 3: save context + calling info in the shared user page.
+        cpu.write_virt(memory, SHARED_GVA, b"\x00" * _CONTEXT_SAVE_BYTES)
+        request = convention.encode(request_obj)
+        self._check_fits(len(request))
+        cpu.write_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES,
+                       len(request).to_bytes(4, "big") + request)
+        cpu.vmfunc(VMFUNC_EPT_SWITCH, to_vm.vm_id)
+
+        # Step 4: we are now executing in to_vm's kernel context.
+        cpu.sti()
+        header = cpu.read_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES, 4,
+                               charge=False)
+        body = cpu.read_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES + 4,
+                             int.from_bytes(header, "big"))
+        try:
+            outcome = server(convention.decode(body))
+        except GuestOSError as err:
+            outcome = err
+
+        # Step 5: returned buffer into the shared page, switch back.
+        reply = convention.encode(outcome)
+        self._check_fits(len(reply))
+        cpu.write_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES,
+                       len(reply).to_bytes(4, "big") + reply)
+        cpu.cli()
+        cpu.vmfunc(VMFUNC_EPT_SWITCH, from_vm.vm_id)
+
+        # Step 6: restore the original VM1 kernel context.
+        if saved_idt is not None:
+            cpu.install_idt(saved_idt)
+        cpu.sti()
+        header = cpu.read_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES, 4,
+                               charge=False)
+        reply = cpu.read_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES + 4,
+                              int.from_bytes(header, "big"))
+        assert saved_pt is not None
+        cpu.write_cr3(saved_pt)
+        state.calls += 1
+
+        result = convention.decode(reply)
+        if isinstance(result, GuestOSError):
+            raise result
+        return result

@@ -1,0 +1,176 @@
+"""Exception hierarchy for the CrossOver reproduction.
+
+Two families live here:
+
+* **Simulated hardware faults** (:class:`HardwareFault` subclasses) —
+  conditions a real processor would raise as exceptions or VM exits
+  (privilege violations, EPT violations, world-table cache misses, ...).
+  The simulated hypervisor catches and services some of them, exactly as
+  privileged software would.
+* **Simulator usage errors** (:class:`SimulationError` subclasses) —
+  misuse of the simulator API itself (e.g. running a workload on a
+  machine that was never powered on).
+"""
+
+from __future__ import annotations
+
+
+class CrossOverError(Exception):
+    """Base class for every error raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Simulated hardware faults
+# ---------------------------------------------------------------------------
+
+
+class HardwareFault(CrossOverError):
+    """A fault the simulated processor raises during execution."""
+
+
+class GeneralProtectionFault(HardwareFault):
+    """Privilege violation: e.g. a CR3 write attempted at CPL > 0."""
+
+
+class PageFault(HardwareFault):
+    """Guest page-table walk failed (not-present / permission)."""
+
+    def __init__(self, vaddr: int, *, write: bool = False, user: bool = False,
+                 reason: str = "not-present") -> None:
+        self.vaddr = vaddr
+        self.write = write
+        self.user = user
+        self.reason = reason
+        super().__init__(
+            f"page fault at {vaddr:#x} ({reason}, write={write}, user={user})"
+        )
+
+
+class EPTViolation(HardwareFault):
+    """Second-stage (EPT) translation failed; causes a VM exit."""
+
+    def __init__(self, gpa: int, *, write: bool = False,
+                 reason: str = "not-present") -> None:
+        self.gpa = gpa
+        self.write = write
+        self.reason = reason
+        super().__init__(f"EPT violation at GPA {gpa:#x} ({reason}, write={write})")
+
+
+class VMFuncFault(HardwareFault):
+    """Invalid VMFUNC invocation (bad function index or bad EPTP index)."""
+
+
+class InvalidOpcode(HardwareFault):
+    """Instruction not available in the current hardware configuration.
+
+    Raised e.g. when ``world_call`` is executed on a machine whose
+    :class:`~repro.hw.costs.HardwareFeatures` does not enable the
+    CrossOver extension.
+    """
+
+
+class WorldCallFault(HardwareFault):
+    """Base class for faults raised by the ``world_call`` datapath."""
+
+
+class WorldTableCacheMiss(WorldCallFault):
+    """WT/IWT cache lookup missed; trapped to the privileged software.
+
+    ``kind`` is ``"wt"`` (callee lookup by WID) or ``"iwt"`` (caller
+    lookup by context).  The hypervisor services the miss by walking the
+    in-memory world table and filling the cache (``manage_wtc``).
+    """
+
+    def __init__(self, kind: str, key: object) -> None:
+        self.kind = kind
+        self.key = key
+        super().__init__(f"world-table cache miss ({kind}) for key {key!r}")
+
+
+class NoSuchWorld(WorldCallFault):
+    """The world table has no entry for the given WID / context."""
+
+    def __init__(self, key: object) -> None:
+        self.key = key
+        super().__init__(f"no world-table entry for {key!r}")
+
+
+class WorldNotPresent(WorldCallFault):
+    """The world-table entry exists but its present bit is clear."""
+
+
+class VMExitRaised(HardwareFault):
+    """Control transferred to the hypervisor via a VM exit.
+
+    Used by code paths that model *unexpected* exits (e.g. an EPT
+    violation in the middle of guest execution); deliberate exits such
+    as ``vmcall`` are modelled as ordinary method calls instead.
+    """
+
+    def __init__(self, reason: str, qualification: object = None) -> None:
+        self.reason = reason
+        self.qualification = qualification
+        super().__init__(f"VM exit: {reason}")
+
+
+# ---------------------------------------------------------------------------
+# Guest-OS level errors (simulated errno-style failures)
+# ---------------------------------------------------------------------------
+
+
+class GuestOSError(CrossOverError):
+    """A simulated syscall failed; carries an errno-style code."""
+
+    def __init__(self, errno: int, message: str) -> None:
+        self.errno = errno
+        self.message = message
+        super().__init__(f"[errno {errno}] {message}")
+
+
+# ---------------------------------------------------------------------------
+# CrossOver runtime (software) errors
+# ---------------------------------------------------------------------------
+
+
+class WorldCallError(CrossOverError):
+    """Software-level failure of the cross-world call runtime."""
+
+
+class AuthorizationDenied(WorldCallError):
+    """The callee's authorization policy rejected the caller's WID."""
+
+    def __init__(self, caller_wid: int, detail: str = "") -> None:
+        self.caller_wid = caller_wid
+        self.detail = detail
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"world call from WID {caller_wid} denied{suffix}")
+
+
+class CallTimeout(WorldCallError):
+    """A world call was cancelled because the callee never returned."""
+
+
+class CalleeHang(WorldCallError):
+    """Signal used by tests/examples to model a callee that never returns."""
+
+
+class ControlFlowViolation(WorldCallError):
+    """The caller's return-state stack detected a mismatched return."""
+
+
+class WorldQuotaExceeded(WorldCallError):
+    """A VM tried to create more worlds than its hypervisor quota allows."""
+
+
+# ---------------------------------------------------------------------------
+# Simulator usage errors
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(CrossOverError):
+    """The simulator API was used incorrectly (not a modelled fault)."""
+
+
+class ConfigurationError(SimulationError):
+    """A machine/VM/system was configured inconsistently."""

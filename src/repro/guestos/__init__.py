@@ -1,0 +1,15 @@
+"""The guest operating system substrate.
+
+A functional Unix-like kernel model that runs *inside* a simulated VM:
+processes with their own address spaces, a round-robin scheduler, a
+syscall dispatcher with a pluggable redirector hook (how the case-study
+systems intercept syscalls), a VFS with ram/dev/proc filesystems, pipes,
+and a small TCP model for Tahoma's RPC baseline.
+
+Entry point: :func:`boot_kernel` attaches a :class:`Kernel` to a VM.
+"""
+
+from repro.guestos.kernel import Kernel, boot_kernel
+from repro.guestos.process import Process
+
+__all__ = ["Kernel", "Process", "boot_kernel"]

@@ -1,0 +1,10 @@
+"""Guest filesystems: VFS, ramfs, devfs, procfs."""
+
+from repro.guestos.fs.inode import Inode, InodeType, StatResult
+from repro.guestos.fs.ramfs import RamFS
+from repro.guestos.fs.devfs import DevFS
+from repro.guestos.fs.procfs import ProcFS
+from repro.guestos.fs.vfs import VFS
+
+__all__ = ["Inode", "InodeType", "StatResult", "RamFS", "DevFS", "ProcFS",
+           "VFS"]

@@ -1,0 +1,72 @@
+"""Pipes.
+
+A :class:`Pipe` is a bounded in-kernel byte buffer with a read end and a
+write end.  The simulator is synchronous, so a read on an empty pipe (or
+a write to a full one) raises :class:`WouldBlock` rather than suspending;
+workloads model the blocking rendezvous with explicit scheduler yields,
+reproducing lat_pipe's two-context-switch round trip.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CrossOverError, GuestOSError
+from repro.guestos.fs.inode import Errno
+
+#: Default pipe capacity (Linux's traditional 64 KiB).
+PIPE_CAPACITY = 64 * 1024
+
+
+class WouldBlock(CrossOverError):
+    """The pipe operation would block (empty read / full write)."""
+
+
+class Pipe:
+    """The shared kernel object behind a pipe fd pair."""
+
+    def __init__(self, capacity: int = PIPE_CAPACITY) -> None:
+        self.capacity = capacity
+        self._buffer = bytearray()
+        self.read_open = True
+        self.write_open = True
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def free_space(self) -> int:
+        """Bytes that can be written before the pipe is full."""
+        return self.capacity - len(self._buffer)
+
+    def write(self, data: bytes) -> int:
+        """Append bytes; EPIPE if the read end is closed, WouldBlock if
+        full."""
+        if not self.read_open:
+            raise GuestOSError(Errno.EPIPE, "read end closed")
+        if not data:
+            return 0
+        if self.free_space == 0:
+            raise WouldBlock("pipe full")
+        accepted = data[:self.free_space]
+        self._buffer += accepted
+        return len(accepted)
+
+    def read(self, length: int) -> bytes:
+        """Consume up to ``length`` bytes; EOF (b'') only after the write
+        end closes; WouldBlock while empty with the writer still open."""
+        if length < 0:
+            raise GuestOSError(Errno.EINVAL, "negative read length")
+        if not self._buffer:
+            if not self.write_open:
+                return b""
+            raise WouldBlock("pipe empty")
+        out = bytes(self._buffer[:length])
+        del self._buffer[:length]
+        return out
+
+    def close_read(self) -> None:
+        """Close the read end."""
+        self.read_open = False
+
+    def close_write(self) -> None:
+        """Close the write end."""
+        self.write_open = False

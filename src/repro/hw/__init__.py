@@ -1,0 +1,36 @@
+"""Simulated hardware substrate.
+
+This package models the hardware the paper depends on:
+
+* ``costs``        — calibrated per-primitive cycle/instruction costs
+* ``perf``         — performance counters read by the benchmark harness
+* ``trace``        — the transition trace (every world switch is recorded)
+* ``mem``          — host physical memory and frame allocation
+* ``paging``       — guest page tables (first-stage translation)
+* ``ept``          — extended page tables (second stage) and EPTP lists
+* ``tlb``          — TLB flush accounting
+* ``registers``    — the architectural register file and MSRs
+* ``idt``          — interrupt descriptor tables and the IF flag
+* ``cpu``          — the CPU core: modes, rings, transitions, privilege checks
+* ``vmx``          — VT-x: VMCS, VM exits and entries, vmcall
+* ``world_table``  — CrossOver's world table, WT cache and IWT cache
+* ``vmfunc``       — VMFUNC fn 0 (EPTP switch) and the CrossOver extension
+  fns 0x1 (``world_call``) / 0x2 (``manage_wtc``)
+"""
+
+from repro.hw.costs import Cost, CostModel, HardwareFeatures
+from repro.hw.cpu import CPU, Mode, Ring
+from repro.hw.perf import PerfCounters
+from repro.hw.trace import TransitionEvent, TransitionTrace
+
+__all__ = [
+    "Cost",
+    "CostModel",
+    "HardwareFeatures",
+    "CPU",
+    "Mode",
+    "Ring",
+    "PerfCounters",
+    "TransitionEvent",
+    "TransitionTrace",
+]

@@ -1,0 +1,426 @@
+"""The CPU core: modes, rings, transitions and privilege checks.
+
+This is a *functional* CPU model: guest and host "code" are Python
+functions that drive these methods.  Every privileged state change —
+syscall traps, CR3 writes, VM exits/entries, VMFUNC invocations,
+``world_call`` — is validated against the current mode and charged to
+the performance counters, and every world switch is appended to the
+transition trace.  Illegal operations raise the same faults real
+hardware would (#GP, EPT violation, VMFUNC fault, world-table miss).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, TYPE_CHECKING
+
+from repro.errors import (
+    GeneralProtectionFault,
+    InvalidOpcode,
+    SimulationError,
+    VMFuncFault,
+    WorldNotPresent,
+    WorldTableCacheMiss,
+)
+from repro.hw.costs import Cost, CostModel, HardwareFeatures
+from repro.hw.ept import EPT, EPTPList
+from repro.hw.idt import IDT, InterruptState
+from repro.hw.paging import PageTable
+from repro.hw.perf import PerfCounters
+from repro.hw.registers import RegisterFile
+from repro.hw.tlb import TLB
+from repro.hw.trace import TransitionTrace
+from repro.hw.world_table import WorldTableCaches, WorldTableEntry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.vmx import VMCS
+
+
+class Mode(enum.Enum):
+    """VMX operation mode."""
+
+    ROOT = "root"          # host / hypervisor
+    NON_ROOT = "non-root"  # guest
+
+
+class Ring(enum.IntEnum):
+    """Privilege rings the model distinguishes."""
+
+    KERNEL = 0
+    USER = 3
+
+
+#: VMFUNC function indexes (Section 4.1 / 5.1).
+VMFUNC_EPT_SWITCH = 0x0
+VMFUNC_WORLD_CALL = 0x1
+VMFUNC_MANAGE_WTC = 0x2
+
+#: Register through which the hardware passes the caller's WID.
+WID_REGISTER = "rdi"
+
+
+class CPU:
+    """One simulated processor core."""
+
+    def __init__(self, cost_model: CostModel, features: HardwareFeatures,
+                 cpu_id: int = 0) -> None:
+        self.cpu_id = cpu_id
+        self.cost_model = cost_model
+        self.features = features
+
+        self.mode = Mode.ROOT
+        self.ring = int(Ring.KERNEL)
+        self.page_table: Optional[PageTable] = None
+        self.ept: Optional[EPT] = None
+        self.eptp_list: Optional[EPTPList] = None
+        self.vm_name = "host"
+        self.current_vmcs: Optional["VMCS"] = None
+
+        self.regs = RegisterFile()
+        self.interrupts = InterruptState()
+        self.tlb = TLB(tagged=True)
+        self.perf = PerfCounters()
+        self.trace = TransitionTrace()
+
+        self.wt_caches: Optional[WorldTableCaches] = (
+            WorldTableCaches(features.wt_cache_entries)
+            if features.crossover else None)
+        self._current_wid: Optional[int] = None   # §5.1 prefetch ablation
+
+    # ------------------------------------------------------------------
+    # labels & accounting
+    # ------------------------------------------------------------------
+
+    @property
+    def cr3(self) -> int:
+        """The current CR3 value (page-table root token)."""
+        return self.page_table.root if self.page_table is not None else 0
+
+    @property
+    def eptp(self) -> int:
+        """The current EPTP token (0 in root mode)."""
+        return self.ept.eptp if self.ept is not None else 0
+
+    @property
+    def world_label(self) -> str:
+        """Human-readable current world, e.g. ``U(vm1)`` or ``K(host)``."""
+        mode_char = "K" if self.ring == Ring.KERNEL else "U"
+        return f"{mode_char}({self.vm_name})"
+
+    def charge(self, kind: str, cost: Optional[Cost] = None) -> None:
+        """Charge a named primitive (looked up in the cost model by
+        default) without recording a trace event."""
+        if cost is None:
+            cost = getattr(self.cost_model, kind)
+        self.perf.charge(kind, cost)
+
+    def transition(self, kind: str, frm: str, to: str, detail: str = "",
+                   cost: Optional[Cost] = None) -> None:
+        """Charge a primitive *and* record it as a world switch."""
+        if cost is None:
+            cost = getattr(self.cost_model, kind)
+        self.perf.charge(kind, cost)
+        self.trace.record(kind, frm, to, detail, cost.cycles)
+
+    def work(self, cycles: int, instructions: int, kind: str = "compute"
+             ) -> None:
+        """Charge generic computation (handler bodies, user-level work)."""
+        self.perf.charge(kind, Cost(instructions, cycles))
+
+    # ------------------------------------------------------------------
+    # privilege checks
+    # ------------------------------------------------------------------
+
+    def require_ring(self, ring: int, what: str) -> None:
+        """#GP unless the CPU is at exactly ``ring``."""
+        if self.ring != ring:
+            raise GeneralProtectionFault(
+                f"{what} requires CPL {ring}, current CPL {self.ring}")
+
+    def require_root(self, what: str) -> None:
+        """#GP unless in VMX root operation."""
+        if self.mode is not Mode.ROOT:
+            raise GeneralProtectionFault(f"{what} requires VMX root mode")
+
+    def require_non_root(self, what: str) -> None:
+        """Fault unless in VMX non-root operation (guest)."""
+        if self.mode is not Mode.NON_ROOT:
+            raise GeneralProtectionFault(f"{what} requires VMX non-root mode")
+
+    # ------------------------------------------------------------------
+    # native ring transitions
+    # ------------------------------------------------------------------
+
+    def syscall_trap(self, detail: str = "") -> None:
+        """SYSCALL: user -> kernel within the current address space."""
+        self.require_ring(int(Ring.USER), "syscall")
+        frm = self.world_label
+        self.ring = int(Ring.KERNEL)
+        self.transition("syscall_trap", frm, self.world_label, detail)
+
+    def sysret(self, detail: str = "") -> None:
+        """SYSRET: kernel -> user within the current address space."""
+        self.require_ring(int(Ring.KERNEL), "sysret")
+        frm = self.world_label
+        self.ring = int(Ring.USER)
+        self.transition("sysret", frm, self.world_label, detail)
+
+    def iret_to_ring(self, ring: int, detail: str = "") -> None:
+        """IRET-style return to an arbitrary ring (used by injectors)."""
+        self.require_ring(int(Ring.KERNEL), "iret")
+        frm = self.world_label
+        self.ring = int(ring)
+        self.transition("sysret", frm, self.world_label, detail or "iret")
+
+    # ------------------------------------------------------------------
+    # control registers, IDT, interrupt flag
+    # ------------------------------------------------------------------
+
+    def write_cr3(self, page_table: PageTable, detail: str = "") -> None:
+        """Load a new address space; privileged (CPL 0 only)."""
+        self.require_ring(int(Ring.KERNEL), "mov cr3")
+        self.page_table = page_table
+        self.tlb.on_cr3_write(page_table.root)
+        self.charge("cr3_write")
+        if detail:
+            self.trace.record("cr3_write", self.world_label,
+                              self.world_label, detail)
+
+    def install_idt(self, idt: IDT) -> None:
+        """LIDT; privileged."""
+        self.require_ring(int(Ring.KERNEL), "lidt")
+        self.interrupts.install(idt)
+        self.charge("idt_switch")
+
+    def cli(self) -> None:
+        """Disable interrupts; privileged."""
+        self.require_ring(int(Ring.KERNEL), "cli")
+        self.interrupts.disable()
+        self.charge("int_toggle")
+
+    def sti(self) -> None:
+        """Enable interrupts; privileged."""
+        self.require_ring(int(Ring.KERNEL), "sti")
+        self.interrupts.enable()
+        self.charge("int_toggle")
+
+    def deliver_irq(self, vector: int, detail: str = "") -> None:
+        """Vector an interrupt through the current IDT (to CPL 0)."""
+        if not self.interrupts.interrupts_enabled:
+            raise SimulationError(
+                f"IRQ {vector} delivered while interrupts are disabled")
+        frm = self.world_label
+        self.ring = int(Ring.KERNEL)
+        self.transition("irq_deliver", frm, self.world_label,
+                        detail or f"vector {vector}",
+                        cost=self.cost_model.irq_vector)
+
+    def context_switch(self, page_table: PageTable, detail: str = "") -> None:
+        """In-kernel process context switch (scheduler path)."""
+        self.require_ring(int(Ring.KERNEL), "context switch")
+        label = self.world_label
+        self.page_table = page_table
+        self.tlb.on_cr3_write(page_table.root)
+        self._current_wid = None  # prefetch register reloads lazily
+        self.transition("context_switch", label, label, detail)
+
+    # ------------------------------------------------------------------
+    # VMX transitions (primitives; the hypervisor orchestrates them)
+    # ------------------------------------------------------------------
+
+    def vmexit(self, reason: str, detail: str = "") -> None:
+        """Guest -> host transition; saves guest state into the VMCS."""
+        self.require_non_root("vm exit")
+        if self.current_vmcs is None:
+            raise SimulationError("vm exit with no current VMCS")
+        frm = self.world_label
+        vmcs = self.current_vmcs
+        vmcs.save_guest(self)
+        vmcs.exit_reason = reason
+        vmcs.load_host(self)
+        self.transition("vmexit", frm, self.world_label,
+                        detail or reason)
+
+    def vmentry(self, vmcs: "VMCS", detail: str = "") -> None:
+        """Host -> guest transition; loads guest state from the VMCS."""
+        self.require_root("vm entry")
+        self.require_ring(int(Ring.KERNEL), "vm entry")
+        frm = self.world_label
+        vmcs.save_host(self)
+        vmcs.load_guest(self)
+        self.current_vmcs = vmcs
+        self.transition("vmentry", frm, self.world_label, detail)
+
+    # ------------------------------------------------------------------
+    # VMFUNC (fn 0) and the CrossOver extension (fns 0x1 / 0x2)
+    # ------------------------------------------------------------------
+
+    def vmfunc(self, function: int, argument: int = 0) -> Optional[int]:
+        """Execute VMFUNC.
+
+        * fn 0x0 — EPTP switch (requires VT-x VMFUNC support; non-root
+          only; any CPL).  ``argument`` is the EPTP-list index.
+        * fn 0x1 — ``world_call`` (requires the CrossOver extension).
+          ``argument`` is the callee WID; returns the *caller's* WID,
+          which the hardware also places in the WID register.
+        * fn 0x2 — ``manage_wtc`` is exposed via :meth:`manage_wtc`
+          because it carries an object payload.
+        """
+        if function == VMFUNC_EPT_SWITCH:
+            return self._vmfunc_ept_switch(argument)
+        if function == VMFUNC_WORLD_CALL:
+            return self._world_call(argument)
+        raise VMFuncFault(f"unsupported VMFUNC index {function:#x}")
+
+    def _vmfunc_ept_switch(self, index: int) -> None:
+        if not self.features.vmfunc:
+            raise InvalidOpcode("VMFUNC not supported by this processor")
+        self.require_non_root("VMFUNC")
+        if self.eptp_list is None:
+            raise VMFuncFault("no EPTP list configured for this guest")
+        if not 0 <= index < self.eptp_list.size:
+            raise VMFuncFault(f"EPTP index {index} out of range")
+        target = self.eptp_list.get(index)
+        if target is None:
+            raise VMFuncFault(f"EPTP list slot {index} is empty")
+        frm = self.world_label
+        self.ept = target
+        if target.label:
+            self.vm_name = target.label
+        self.tlb.on_ept_switch(target.eptp)
+        self.transition("vmfunc_ept_switch", frm, self.world_label,
+                        f"eptp[{index}]")
+
+    def _world_call(self, callee_wid: int) -> int:
+        """The ``world_call`` datapath (Sections 3.3 and 5.1).
+
+        Looks up the caller by context in the IWT cache and the callee
+        by WID in the WT cache (misses raise
+        :class:`~repro.errors.WorldTableCacheMiss` after charging the
+        exception-delivery cost), then switches EPTP, CR3, ring and H/G
+        mode in one hop and jumps to the callee's entry point.
+        """
+        if not self.features.crossover or self.wt_caches is None:
+            raise InvalidOpcode(
+                "world_call requires the CrossOver extension")
+        self.charge("world_call_hw")
+        caller = self._lookup_caller()
+        try:
+            callee = self.wt_caches.lookup_callee(callee_wid)
+        except WorldTableCacheMiss:
+            self.charge("wt_miss_exception")
+            raise
+        if not callee.present:
+            raise WorldNotPresent(f"world {callee_wid} is not present")
+
+        # Validate the entry point through the callee's own translations
+        # BEFORE committing the switch: a non-executable or unmapped PC
+        # faults with the caller's context intact.
+        entry_gpa = callee.page_table.translate(
+            callee.pc, user=callee.ring == int(Ring.USER), execute=True)
+        if callee.ept is not None:
+            callee.ept.translate(entry_gpa, execute=True)
+
+        frm = self.world_label
+        self.mode = Mode.ROOT if callee.host_mode else Mode.NON_ROOT
+        self.ring = callee.ring
+        self.ept = callee.ept
+        self.page_table = callee.page_table
+        self.vm_name = callee.vm_name
+        if callee.ept is not None:
+            self.tlb.on_ept_switch(callee.ept.eptp)
+        self.tlb.on_cr3_write(callee.page_table.root)
+        self._current_wid = callee.wid
+        self.regs.write("rip", callee.pc)
+        self.regs.write(WID_REGISTER, caller.wid)
+        self.trace.record("world_call", frm, self.world_label,
+                          f"wid {caller.wid} -> {callee_wid}",
+                          self.cost_model.world_call_hw.cycles)
+        return caller.wid
+
+    def _lookup_caller(self) -> WorldTableEntry:
+        """Identify the calling world from the current context."""
+        assert self.wt_caches is not None
+        if (self.features.current_wid_register
+                and self._current_wid is not None
+                and self._current_wid in self.wt_caches.wt):
+            # Current-World-ID register ablation: the WID was prefetched
+            # after the last context switch, skipping the IWT lookup.
+            entry = self.wt_caches.wt.lookup(self._current_wid)
+            assert entry is not None
+            if entry.context_key() == self._context_key():
+                return entry
+        try:
+            return self.wt_caches.lookup_caller(self._context_key())
+        except WorldTableCacheMiss:
+            self.charge("wt_miss_exception")
+            raise
+
+    def _context_key(self):
+        return (self.mode is Mode.ROOT, self.ring, self.eptp, self.cr3)
+
+    def manage_wtc(self, operation: str, entry: WorldTableEntry) -> None:
+        """``manage_wtc`` (VMFUNC fn 0x2): fill or invalidate the caches.
+
+        Only the most privileged software may manage the caches, so the
+        instruction faults outside root-mode CPL 0.
+        """
+        if not self.features.crossover or self.wt_caches is None:
+            raise InvalidOpcode("manage_wtc requires the CrossOver extension")
+        self.require_root("manage_wtc")
+        self.require_ring(int(Ring.KERNEL), "manage_wtc")
+        self.charge("manage_wtc")
+        if operation == "fill":
+            self.wt_caches.fill(entry)
+        elif operation == "invalidate":
+            self.wt_caches.invalidate(entry)
+        else:
+            raise SimulationError(f"unknown manage_wtc operation {operation!r}")
+
+    # ------------------------------------------------------------------
+    # memory access in the current context
+    # ------------------------------------------------------------------
+
+    def translate(self, gva: int, *, write: bool = False,
+                  execute: bool = False) -> int:
+        """Translate a virtual address in the current context to HPA."""
+        if self.page_table is None:
+            raise SimulationError("no page table loaded")
+        user = self.ring == int(Ring.USER)
+        gpa = self.page_table.translate(
+            gva, write=write, user=user, execute=execute)
+        if self.mode is Mode.NON_ROOT:
+            if self.ept is None:
+                raise SimulationError("non-root mode with no EPT loaded")
+            return self.ept.translate(gpa, write=write, execute=execute)
+        return gpa
+
+    def read_virt(self, memory, gva: int, length: int,
+                  charge: bool = True) -> bytes:
+        """Read bytes at a virtual address in the current context."""
+        out = bytearray()
+        addr = gva
+        remaining = length
+        while remaining > 0:
+            hpa = self.translate(addr)
+            chunk = min(remaining, 4096 - (addr & 0xFFF))
+            out += memory.read(hpa, chunk)
+            addr += chunk
+            remaining -= chunk
+        if charge and length:
+            self.perf.charge("copy", self.cost_model.copy(length))
+        return bytes(out)
+
+    def write_virt(self, memory, gva: int, data: bytes,
+                   charge: bool = True) -> None:
+        """Write bytes at a virtual address in the current context."""
+        addr = gva
+        view = memoryview(data)
+        while view:
+            hpa = self.translate(addr, write=True)
+            chunk = min(len(view), 4096 - (addr & 0xFFF))
+            memory.write(hpa, bytes(view[:chunk]))
+            addr += chunk
+            view = view[chunk:]
+        if charge and data:
+            self.perf.charge("copy", self.cost_model.copy(len(data)))

@@ -1,0 +1,112 @@
+"""Guest page tables (first-stage translation: GVA -> GPA).
+
+The model is a software page table: a map from virtual page number to a
+:class:`PTE`.  Structure below the page level (PML4/PDPT/...) is not
+modelled — what matters for the paper is *which address space* is
+active (the CR3 value) and the permission/present semantics, both of
+which are enforced faithfully.
+
+Each page table carries a ``root`` token standing in for the physical
+address of its top-level table; this is the value loaded into CR3.
+Section 4.2's requirement that "the caller and callee must have the same
+value in CR3" is modelled by giving helper page tables in different VMs
+an identical, deliberately shared ``root`` value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import PageFault, SimulationError
+from repro.hw.mem import PAGE_SIZE, page_number, page_offset
+
+_root_counter = itertools.count(0x1000)
+
+
+def _fresh_root() -> int:
+    """Allocate a unique CR3 root token (page-aligned-looking)."""
+    return next(_root_counter) << 12
+
+
+@dataclass(frozen=True)
+class PTE:
+    """A page-table entry mapping one virtual page to a guest-physical page."""
+
+    gpa: int
+    writable: bool = True
+    user: bool = True
+    executable: bool = False
+
+    def permits(self, *, write: bool, user: bool, execute: bool) -> bool:
+        """Whether an access with the given intents is allowed."""
+        if write and not self.writable:
+            return False
+        if user and not self.user:
+            return False
+        if execute and not self.executable:
+            return False
+        return True
+
+
+class PageTable:
+    """One guest address space (the object CR3 points at)."""
+
+    def __init__(self, label: str = "", root: Optional[int] = None) -> None:
+        self.label = label
+        self.root = root if root is not None else _fresh_root()
+        self._entries: Dict[int, PTE] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def map(self, gva: int, gpa: int, *, writable: bool = True,
+            user: bool = True, executable: bool = False) -> None:
+        """Map the page containing ``gva`` to the page containing ``gpa``."""
+        if page_offset(gva) or page_offset(gpa):
+            raise SimulationError("map() requires page-aligned addresses")
+        self._entries[page_number(gva)] = PTE(
+            gpa=gpa, writable=writable, user=user, executable=executable)
+
+    def unmap(self, gva: int) -> None:
+        """Remove the mapping for the page containing ``gva``."""
+        vpn = page_number(gva)
+        if vpn not in self._entries:
+            raise SimulationError(f"unmap of unmapped GVA {gva:#x}")
+        del self._entries[vpn]
+
+    def entry(self, gva: int) -> Optional[PTE]:
+        """The PTE covering ``gva``, or ``None``."""
+        return self._entries.get(page_number(gva))
+
+    def entries(self) -> Iterator[Tuple[int, PTE]]:
+        """Iterate ``(vpn, pte)`` pairs."""
+        return iter(self._entries.items())
+
+    def translate(self, gva: int, *, write: bool = False, user: bool = True,
+                  execute: bool = False) -> int:
+        """Translate ``gva`` to a guest-physical address or raise PageFault."""
+        pte = self._entries.get(page_number(gva))
+        if pte is None:
+            raise PageFault(gva, write=write, user=user, reason="not-present")
+        if not pte.permits(write=write, user=user, execute=execute):
+            raise PageFault(gva, write=write, user=user, reason="protection")
+        return pte.gpa + page_offset(gva)
+
+    def span(self, gva: int, length: int, *, write: bool = False,
+             user: bool = True) -> Iterator[Tuple[int, int]]:
+        """Yield ``(gpa, chunk_len)`` pieces covering ``[gva, gva+length)``."""
+        addr = gva
+        remaining = length
+        while remaining > 0:
+            gpa = self.translate(addr, write=write, user=user)
+            chunk = min(remaining, PAGE_SIZE - page_offset(addr))
+            yield gpa, chunk
+            addr += chunk
+            remaining -= chunk
+
+    def clone_mappings(self, other: "PageTable") -> None:
+        """Copy every mapping of ``other`` into this table."""
+        for vpn, pte in other.entries():
+            self._entries[vpn] = pte

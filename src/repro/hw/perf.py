@@ -1,0 +1,98 @@
+"""Performance counters.
+
+A :class:`PerfCounters` instance hangs off every simulated CPU.  All
+charging funnels through :meth:`PerfCounters.charge`, which accumulates
+the two cost dimensions (instructions, cycles) plus per-event-kind
+counts.  The benchmark harness snapshots counters around a workload and
+reads the delta.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.hw.costs import Cost, us
+
+
+@dataclass
+class PerfSnapshot:
+    """An immutable point-in-time copy of the counters."""
+
+    instructions: int
+    cycles: int
+    events: Dict[str, int]
+
+    def delta(self, later: "PerfSnapshot") -> "PerfDelta":
+        """Difference ``later - self`` (the cost of the bracketed region)."""
+        events = Counter(later.events)
+        events.subtract(self.events)
+        return PerfDelta(
+            instructions=later.instructions - self.instructions,
+            cycles=later.cycles - self.cycles,
+            events={k: v for k, v in events.items() if v},
+        )
+
+
+@dataclass
+class PerfDelta:
+    """Counter difference over a measured region."""
+
+    instructions: int
+    cycles: int
+    events: Dict[str, int]
+
+    @property
+    def microseconds(self) -> float:
+        """Cycle delta in microseconds at the modelled 3.4 GHz clock."""
+        return us(self.cycles)
+
+    def count(self, kind: str) -> int:
+        """Number of events of ``kind`` in the region (0 if none)."""
+        return self.events.get(kind, 0)
+
+    @property
+    def world_switches(self) -> int:
+        """Total privilege-boundary crossings in the region.
+
+        A *world switch* in the paper's terminology is any ring crossing,
+        host/guest mode switch, or address-space switch: syscall traps and
+        returns, VM exits and entries, VMFUNC EPT switches, world calls,
+        interrupt deliveries and context switches.
+        """
+        kinds = (
+            "syscall_trap", "sysret", "vmexit", "vmentry",
+            "vmfunc_ept_switch", "world_call", "world_call_hw",
+            "irq_deliver", "context_switch", "vm_schedule",
+        )
+        return sum(self.events.get(k, 0) for k in kinds)
+
+
+class PerfCounters:
+    """Mutable instruction/cycle/event accumulators for one CPU."""
+
+    def __init__(self) -> None:
+        self.instructions = 0
+        self.cycles = 0
+        self.events: Counter = Counter()
+
+    def charge(self, kind: str, cost: Cost) -> None:
+        """Record one event of ``kind`` costing ``cost``."""
+        self.instructions += cost.instructions
+        self.cycles += cost.cycles
+        self.events[kind] += 1
+
+    def snapshot(self) -> PerfSnapshot:
+        """Copy the current counter values."""
+        return PerfSnapshot(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            events=dict(self.events),
+        )
+
+    def reset(self) -> None:
+        """Zero every counter (used between benchmark iterations)."""
+        self.instructions = 0
+        self.cycles = 0
+        self.events.clear()

@@ -1,0 +1,58 @@
+"""TLB model.
+
+Only flush *accounting* matters for the paper's results (locality loss
+from CR3/EPTP changes), so the model tracks flush counts and tags rather
+than simulating individual translations.  The CPU consults this object
+when CR3 is written or an EPT switch occurs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class TLB:
+    """Flush-accounting TLB with VPID/EPT tagging knobs.
+
+    ``tagged=True`` models VPID/EPT-tagged TLBs where a context switch
+    does not force a full flush (the common modern configuration, and
+    what makes VMFUNC's exit-free EPT switch cheap).
+    """
+
+    def __init__(self, *, tagged: bool = True) -> None:
+        self.tagged = tagged
+        self.full_flushes = 0
+        self.context_switches = 0
+        self._current_cr3: Optional[int] = None
+        self._current_eptp: Optional[int] = None
+
+    def on_cr3_write(self, new_cr3: int) -> bool:
+        """Note a CR3 write; returns True when a full flush occurred."""
+        changed = new_cr3 != self._current_cr3
+        self._current_cr3 = new_cr3
+        if changed:
+            self.context_switches += 1
+            if not self.tagged:
+                self.full_flushes += 1
+                return True
+        return False
+
+    def on_ept_switch(self, new_eptp: int) -> bool:
+        """Note an EPTP change; returns True when a full flush occurred."""
+        changed = new_eptp != self._current_eptp
+        self._current_eptp = new_eptp
+        if changed:
+            self.context_switches += 1
+            if not self.tagged:
+                self.full_flushes += 1
+                return True
+        return False
+
+    def flush_all(self) -> None:
+        """Explicit full flush (invept/invvpid)."""
+        self.full_flushes += 1
+
+    def reset(self) -> None:
+        """Zero the accounting counters."""
+        self.full_flushes = 0
+        self.context_switches = 0

@@ -1,0 +1,46 @@
+"""VMFUNC function indexes and convenience wrappers.
+
+The actual datapaths live on the CPU (:meth:`repro.hw.cpu.CPU.vmfunc`);
+this module names the function indexes and provides readable wrappers
+for the three functions the paper uses:
+
+* ``ept_switch(cpu, index)``   — fn 0x0, Intel's shipping EPTP switch;
+* ``world_call(cpu, wid)``     — fn 0x1, CrossOver's cross-world call;
+* ``manage_wtc(cpu, op, e)``   — fn 0x2, world-table cache management.
+"""
+
+from __future__ import annotations
+
+from repro.hw.cpu import (
+    CPU,
+    VMFUNC_EPT_SWITCH,
+    VMFUNC_MANAGE_WTC,
+    VMFUNC_WORLD_CALL,
+)
+from repro.hw.world_table import WorldTableEntry
+
+__all__ = [
+    "VMFUNC_EPT_SWITCH",
+    "VMFUNC_WORLD_CALL",
+    "VMFUNC_MANAGE_WTC",
+    "ept_switch",
+    "world_call",
+    "manage_wtc",
+]
+
+
+def ept_switch(cpu: CPU, index: int) -> None:
+    """Switch the current EPT via the EPTP list (no VM exit)."""
+    cpu.vmfunc(VMFUNC_EPT_SWITCH, index)
+
+
+def world_call(cpu: CPU, callee_wid: int) -> int:
+    """Perform a hardware cross-world call; returns the caller's WID."""
+    result = cpu.vmfunc(VMFUNC_WORLD_CALL, callee_wid)
+    assert result is not None
+    return result
+
+
+def manage_wtc(cpu: CPU, operation: str, entry: WorldTableEntry) -> None:
+    """Fill or invalidate the world-table caches (privileged)."""
+    cpu.manage_wtc(operation, entry)

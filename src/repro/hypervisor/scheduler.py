@@ -1,0 +1,51 @@
+"""Host-side vCPU scheduler cost model.
+
+The baselines' latency partly comes from the host scheduler having to
+pick the peer VM's vCPU before injected work can run ("the callee must
+wait until it is scheduled to run", Section 3.3).  The model charges the
+scheduling cost and, optionally, an extra queueing delay proportional to
+the target VM's load — used by the evaluation's observation that the
+hypervisor-based call "drops rapidly" as the private VM's load grows.
+"""
+
+from __future__ import annotations
+
+from repro.hw.costs import Cost
+from repro.hw.cpu import CPU
+from repro.hypervisor.vm import VirtualMachine
+
+
+class HostScheduler:
+    """Charges host scheduling work; tracks per-VM load factors."""
+
+    #: Expected queueing delay behind one competing runnable vCPU.
+    DEFAULT_QUEUE_SLICE_CYCLES = 8000
+
+    def __init__(self) -> None:
+        self._load: dict = {}
+        self.schedules = 0
+        self.queue_slice_cycles = self.DEFAULT_QUEUE_SLICE_CYCLES
+
+    def set_load(self, vm: VirtualMachine, runnable_peers: int) -> None:
+        """Declare how many other runnable vCPUs compete with ``vm``."""
+        if runnable_peers < 0:
+            raise ValueError("load cannot be negative")
+        self._load[vm.name] = runnable_peers
+
+    def load_of(self, vm: VirtualMachine) -> int:
+        """Number of competing runnable vCPUs declared for ``vm``."""
+        return self._load.get(vm.name, 0)
+
+    def schedule(self, cpu: CPU, vm: VirtualMachine, detail: str = "") -> None:
+        """Pick ``vm`` to run next; charges base cost + load-dependent
+        queueing delay (one in-guest timeslice share per competitor)."""
+        cpu.charge("vm_schedule")
+        cpu.trace.record("vm_schedule", cpu.world_label, cpu.world_label,
+                         detail or f"schedule {vm.name}")
+        delay_slices = self._load.get(vm.name, 0)
+        if delay_slices:
+            # Each competing runnable vCPU adds an expected queueing
+            # delay before the target vCPU gets the pCPU.
+            cpu.perf.charge("sched_queueing",
+                            Cost(0, delay_slices * self.queue_slice_cycles))
+        self.schedules += 1

@@ -1,0 +1,85 @@
+"""Inter-VM shared memory.
+
+World-call setup (Section 3.3) requires "a shared memory mapping with
+the callee to store calling parameters and return data" — a one-time
+effort mediated by the hypervisor.  A :class:`SharedMemoryRegion` is a
+set of host frames mapped at the *same guest-physical address* in every
+participating VM (a "common" GPA), optionally also mapped at the same
+virtual address in chosen guest page tables so the caller and callee can
+address it identically before/after a switch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SimulationError
+from repro.hw.mem import Frame, HostMemory, PAGE_SIZE
+from repro.hw.paging import PageTable
+from repro.hypervisor.vm import VirtualMachine
+
+
+class SharedMemoryRegion:
+    """Host frames mapped at one common GPA across several VMs."""
+
+    def __init__(self, memory: HostMemory, gpa: int, pages: int,
+                 label: str = "shm") -> None:
+        if pages <= 0:
+            raise SimulationError("shared region needs at least one page")
+        self.gpa = gpa
+        self.pages = pages
+        self.label = label
+        self.frames: List[Frame] = [
+            memory.allocate(f"{label}[{i}]") for i in range(pages)]
+        self.vms: List[VirtualMachine] = []
+        self.gva: int = 0   # assigned when first attached to a page table
+
+    @property
+    def size(self) -> int:
+        """Region size in bytes."""
+        return self.pages * PAGE_SIZE
+
+    def map_into_vm(self, vm: VirtualMachine, *, writable: bool = True) -> None:
+        """Map every frame at the common GPA range in ``vm``'s EPT."""
+        for i, frame in enumerate(self.frames):
+            vm.map_frame(self.gpa + i * PAGE_SIZE, frame, writable=writable)
+        self.vms.append(vm)
+
+    def map_into_page_table(self, table: PageTable, gva: int, *,
+                            writable: bool = True, user: bool = True) -> None:
+        """Map the region at ``gva`` in a guest page table."""
+        if gva % PAGE_SIZE:
+            raise SimulationError("shared region GVA must be page-aligned")
+        for i in range(self.pages):
+            table.map(gva + i * PAGE_SIZE, self.gpa + i * PAGE_SIZE,
+                      writable=writable, user=user)
+        self.gva = gva
+
+    # -- direct (host-side) access; guests go through CPU.read/write_virt
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Host-side write into the region (hypervisor path)."""
+        if offset < 0 or offset + len(data) > self.size:
+            raise SimulationError("shared write out of bounds")
+        view = memoryview(data)
+        while view:
+            frame = self.frames[offset // PAGE_SIZE]
+            in_page = offset % PAGE_SIZE
+            chunk = min(len(view), PAGE_SIZE - in_page)
+            frame.write(in_page, bytes(view[:chunk]))
+            offset += chunk
+            view = view[chunk:]
+
+    def read(self, offset: int, length: int) -> bytes:
+        """Host-side read from the region (hypervisor path)."""
+        if offset < 0 or offset + length > self.size:
+            raise SimulationError("shared read out of bounds")
+        out = bytearray()
+        while length > 0:
+            frame = self.frames[offset // PAGE_SIZE]
+            in_page = offset % PAGE_SIZE
+            chunk = min(length, PAGE_SIZE - in_page)
+            out += frame.read(in_page, chunk)
+            offset += chunk
+            length -= chunk
+        return bytes(out)

@@ -1,0 +1,38 @@
+"""Reimplementations of the paper's case-study systems (Section 6).
+
+Each system comes in two variants:
+
+* **baseline** — the published design: every cross-VM interaction
+  bounces through the hypervisor (hypercalls, virtual-interrupt
+  injection, VM scheduling, full buffer copies, or — for Tahoma — an
+  XML RPC over a virtual TCP link);
+* **optimized** — the same functionality over VMFUNC cross-world calls
+  (Section 4.3), or over full CrossOver ``world_call`` when the machine
+  has the extension.
+
+``pathmodels`` additionally encodes the static transition paths of all
+eleven Table-1 systems for the survey reproduction.
+"""
+
+from repro.systems.base import CrossWorldSystem, SystemRedirector
+from repro.systems.proxos import Proxos
+from repro.systems.hypershell import HyperShell
+from repro.systems.tahoma import Tahoma
+from repro.systems.shadowcontext import ShadowContext
+from repro.systems.fuse import UserSpaceFS
+from repro.systems.minibox import MiniBox
+from repro.systems.overshadow import Overshadow
+from repro.systems.splitdriver import SplitDriver
+
+__all__ = [
+    "CrossWorldSystem",
+    "SystemRedirector",
+    "Proxos",
+    "HyperShell",
+    "Tahoma",
+    "ShadowContext",
+    "UserSpaceFS",
+    "MiniBox",
+    "Overshadow",
+    "SplitDriver",
+]

@@ -1,0 +1,174 @@
+"""MiniBox (Li et al., USENIX ATC 2014) — the two-way sandbox of
+Table 1, built out as a runnable system.
+
+MiniBox is the paper's example of a system needing **two-way
+isolation**: the platform distrusts the sandboxed application *and* the
+application distrusts the platform.  Section 2 argues even this case
+fits CrossOver's separation of authentication from authorization: both
+peers authenticate each other's WIDs in hardware and each enforces its
+own policy in software.
+
+This implementation runs the sandboxed app in VM1 and the trusted
+service kernel in VM2:
+
+* **downcalls** — the app invokes trusted services (sealed storage,
+  attestation, selected syscalls); the trusted side's allow-list admits
+  only registered sandbox worlds, and a per-world service map restricts
+  *which* services each sandbox may use;
+* **upcalls** — the trusted kernel calls back into the app world (e.g.
+  to deliver an attestation challenge); the app world's own allow-list
+  admits only the trusted kernel's WID — isolation really is mutual.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.authorization import AllowListPolicy, PerWorldServicePolicy
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.world import World, WorldRegistry
+from repro.errors import (
+    AuthorizationDenied,
+    ConfigurationError,
+    GuestOSError,
+    SimulationError,
+)
+from repro.guestos.fs.inode import Errno, InodeType
+from repro.guestos.kernel import Kernel
+from repro.testbed import enter_vm_kernel
+
+#: Services the trusted side can expose to sandboxes.
+TRUSTED_SERVICES = ("seal", "unseal", "attest", "syscall")
+
+
+class MiniBox:
+    """A two-way sandbox across two VMs over full CrossOver."""
+
+    name = "MiniBox"
+
+    def __init__(self, machine, sandbox_kernel: Kernel,
+                 trusted_kernel: Kernel) -> None:
+        if not machine.features.crossover:
+            raise ConfigurationError(
+                "MiniBox's mutual-distrust calls use world_call; build "
+                "the machine with FEATURES_CROSSOVER")
+        self.machine = machine
+        self.sandbox_kernel = sandbox_kernel
+        self.trusted_kernel = trusted_kernel
+        self.registry = WorldRegistry(machine)
+        self.runtime = WorldCallRuntime(machine, self.registry)
+        self._sealed: Dict[str, bytes] = {}
+        self._upcall_handler: Optional[Callable[[Any], Any]] = None
+        self.sandbox_world: Optional[World] = None
+        self.trusted_world: Optional[World] = None
+        self._ready = False
+
+    # ------------------------------------------------------------------
+    # setup: register both worlds, each with its own policy
+    # ------------------------------------------------------------------
+
+    def setup(self, services: tuple = TRUSTED_SERVICES) -> None:
+        """Register the sandbox and trusted worlds and cross-grant."""
+        if self._ready:
+            return
+        machine = self.machine
+        self.trusted_executor = self.trusted_kernel.spawn("minibox-service")
+        self._trusted_policy = PerWorldServicePolicy({})
+        self._sandbox_policy = AllowListPolicy()
+
+        enter_vm_kernel(machine, self.sandbox_kernel.vm)
+        self.sandbox_world = self.registry.create_kernel_world(
+            self.sandbox_kernel, handler=self._sandbox_entry,
+            policy=self._sandbox_policy, label="K(sandbox)")
+        enter_vm_kernel(machine, self.trusted_kernel.vm)
+        self.trusted_world = self.registry.create_kernel_world(
+            self.trusted_kernel, handler=self._trusted_entry,
+            policy=self._trusted_policy,
+            service_process=self.trusted_executor, label="K(trusted)")
+
+        # Mutual grants: the sandbox may use the listed services; the
+        # trusted kernel may upcall into the sandbox.
+        self._trusted_policy.grant(self.sandbox_world.wid,
+                                   ",".join(services))
+        self._sandbox_policy.grant(self.trusted_world.wid)
+
+        enter_vm_kernel(machine, self.sandbox_kernel.vm)
+        self.runtime.setup_channel(self.sandbox_world, self.trusted_world,
+                                   pages=4)
+        self._ready = True
+
+    def _to_sandbox_context(self) -> None:
+        enter_vm_kernel(self.machine, self.sandbox_kernel.vm)
+        self.machine.cpu.write_cr3(self.sandbox_kernel.master_page_table)
+
+    def _to_trusted_context(self) -> None:
+        enter_vm_kernel(self.machine, self.trusted_kernel.vm)
+        self.machine.cpu.write_cr3(self.trusted_kernel.master_page_table)
+
+    # ------------------------------------------------------------------
+    # downcalls: sandbox -> trusted services
+    # ------------------------------------------------------------------
+
+    def downcall(self, service: str, *args) -> Any:
+        """Invoke a trusted service from the sandbox world."""
+        if not self._ready:
+            raise SimulationError("setup() must run first")
+        assert self.sandbox_world is not None
+        assert self.trusted_world is not None
+        self._to_sandbox_context()
+        return self.runtime.call(self.sandbox_world, self.trusted_world.wid,
+                                 (service,) + args)
+
+    def _trusted_entry(self, request: CallRequest) -> Any:
+        service, *args = request.payload
+        allowed = (request.service or "").split(",")
+        if service not in allowed:
+            raise AuthorizationDenied(
+                request.caller_wid,
+                f"service {service!r} not granted to this sandbox")
+        handler = getattr(self, f"_svc_{service}")
+        return handler(*args)
+
+    def _svc_seal(self, name: str, data: bytes) -> int:
+        self.machine.cpu.work(8_000, 2_500, kind="crypto")
+        self._sealed[name] = bytes(data)
+        return len(data)
+
+    def _svc_unseal(self, name: str) -> bytes:
+        self.machine.cpu.work(8_000, 2_500, kind="crypto")
+        blob = self._sealed.get(name)
+        if blob is None:
+            raise GuestOSError(Errno.ENOENT, f"no sealed blob {name!r}")
+        return blob
+
+    def _svc_attest(self, nonce: int) -> dict:
+        self.machine.cpu.work(20_000, 6_000, kind="crypto")
+        return {"nonce": nonce, "measurement": 0xC0DE, "signed": True}
+
+    def _svc_syscall(self, name: str, *args) -> Any:
+        return self.trusted_kernel.syscalls.invoke(
+            self.trusted_executor, name, *args)
+
+    # ------------------------------------------------------------------
+    # upcalls: trusted kernel -> sandbox
+    # ------------------------------------------------------------------
+
+    def on_upcall(self, handler: Callable[[Any], Any]) -> None:
+        """Register the sandbox-side upcall handler."""
+        self._upcall_handler = handler
+
+    def _sandbox_entry(self, request: CallRequest) -> Any:
+        if self._upcall_handler is None:
+            raise GuestOSError(Errno.ENOSYS, "sandbox accepts no upcalls")
+        return self._upcall_handler(request.payload)
+
+    def upcall(self, payload: Any) -> Any:
+        """Invoke the sandbox from the trusted world (e.g. deliver a
+        challenge)."""
+        if not self._ready:
+            raise SimulationError("setup() must run first")
+        assert self.sandbox_world is not None
+        assert self.trusted_world is not None
+        self._to_trusted_context()
+        return self.runtime.call(self.trusted_world, self.sandbox_world.wid,
+                                 payload)

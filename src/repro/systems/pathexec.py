@@ -1,0 +1,144 @@
+"""Path interpreter: execute any Table-1 transition path on the
+simulated machine.
+
+`repro.systems.pathmodels` encodes the eleven surveyed systems' call
+paths as world-label sequences.  This module *executes* such a sequence
+against the cost model, charging each hop the cost of the hardware/
+software mechanism that performs it — so Table 1 gains a measured
+per-call latency column next to its structural "Times" ratio, covering
+even the systems whose full substrate (nested virtualization for
+CloudVisor and Xen-Blanket) is out of scope for a functional build.
+
+The interpreter classifies each hop from its endpoint labels:
+
+==============================  =======================================
+hop                             charged as
+==============================  =======================================
+U(x) -> K(x)                    syscall trap + dispatch
+K(x) -> U(x)                    sysret (+ context switch when the
+                                target is a different *process* world,
+                                e.g. ``U(shim)`` vs ``U(vm)``)
+guest -> K(hyp)/K(host)/        VM exit + hypervisor handling
+  K(cloudvisor)
+K(hyp)-like -> guest            VM entry (+ injection when entering a
+                                kernel that will dispatch work)
+K(host) <-> U(host)             host ring crossing
+K(ring1@..) <-> K(ring0@..)     nested-virtualization ring transition
+                                (an in-guest exit emulated by the L1
+                                hypervisor: exit + handling costs)
+anything, with CrossOver        one ``world_call``
+==============================  =======================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.hw.costs import Cost, CostModel
+from repro.hw.cpu import CPU
+from repro.systems.pathmodels import SystemPath
+
+#: Labels that denote the most privileged software layer.  Exact match
+#: on the domain component: CloudVisor's deprivileged commodity
+#: hypervisor ("hyp-vm") is a *guest* of the security monitor.
+_PRIVILEGED = ("hyp", "host", "cloudvisor")
+
+
+def _is_privileged(label: str) -> bool:
+    domain = label[label.find("(") + 1:label.rfind(")")]
+    domain = domain.split("@")[-1]
+    return domain in _PRIVILEGED
+
+
+def _ring(label: str) -> str:
+    return label[0]          # 'U' or 'K'
+
+
+def _domain(label: str) -> str:
+    return label[label.find("(") + 1:label.rfind(")")]
+
+
+def classify_hop(frm: str, to: str) -> str:
+    """Name the mechanism a baseline system uses for one hop."""
+    frm_priv, to_priv = _is_privileged(frm), _is_privileged(to)
+    if not frm_priv and to_priv:
+        return "vmexit"
+    if frm_priv and not to_priv:
+        return "vmentry"
+    if frm_priv and to_priv:
+        return "host_ring" if _ring(frm) != _ring(to) else "nested_exit"
+    # Both unprivileged.
+    if "ring0" in frm or "ring0" in to or "ring1" in frm or "ring1" in to:
+        return "nested_exit"
+    if _ring(frm) == "U" and _ring(to) == "K":
+        return "syscall"          # a user context entering its kernel
+    if _ring(frm) == "K" and _ring(to) == "U":
+        # Returning to a *different* process than the one that entered
+        # (FUSE's daemon, ShadowContext's dummy) costs a context switch
+        # on top of the ring return.
+        if _domain(frm) == _domain(to):
+            return "sysret"
+        return "sysret_switch"
+    # Same-ring handoff between unprivileged domains: a user-level
+    # handoff (shim pair, process switch).
+    return "process_switch"
+
+
+def hop_cost(kind: str, cm: CostModel) -> Cost:
+    """The charge for one classified hop."""
+    if kind == "syscall":
+        return cm.syscall_trap + cm.syscall_dispatch
+    if kind == "sysret":
+        return cm.sysret
+    if kind == "sysret_switch":
+        return cm.sysret + cm.context_switch
+    if kind == "vmexit":
+        return cm.vmexit + cm.vmexit_handle
+    if kind == "vmentry":
+        return cm.vmentry + cm.virq_inject
+    if kind == "host_ring":
+        return cm.syscall_trap + cm.sysret.scaled(0) + cm.syscall_dispatch
+    if kind == "nested_exit":
+        # An L2 exit emulated by the L1 hypervisor: the hardware exits
+        # to L0, which reflects it to L1 — roughly an exit+entry pair
+        # plus software reflection.
+        return (cm.vmexit + cm.vmexit_handle + cm.vmentry
+                + cm.hypercall_dispatch)
+    if kind == "process_switch":
+        return cm.context_switch
+    if kind == "world_call":
+        return cm.world_call_hw + cm.world_save_state \
+            + cm.world_restore_state
+    raise ValueError(f"unknown hop kind {kind!r}")
+
+
+def execute_path(cpu: CPU, path: Sequence[str], *,
+                 crossover: bool = False) -> Tuple[int, list]:
+    """Charge a full path traversal; returns (cycles, hop kinds).
+
+    ``crossover=True`` executes the path as CrossOver would: every hop
+    becomes a single ``world_call``.
+    """
+    cm = cpu.cost_model
+    start = cpu.perf.cycles
+    kinds = []
+    for frm, to in zip(path, path[1:]):
+        kind = "world_call" if crossover else classify_hop(frm, to)
+        kinds.append(kind)
+        cpu.perf.charge(f"path_{kind}", hop_cost(kind, cm))
+        cpu.trace.record(kind, frm, to, "path-exec")
+    return cpu.perf.cycles - start, kinds
+
+
+def measure_system(cpu: CPU, system: SystemPath) -> dict:
+    """Measured latencies for one Table-1 system: the published path
+    vs the CrossOver-minimal path."""
+    actual_cycles, actual_kinds = execute_path(cpu, system.actual)
+    minimal_cycles, _ = execute_path(cpu, system.minimal, crossover=True)
+    return {
+        "system": system.name,
+        "actual_cycles": actual_cycles,
+        "minimal_cycles": minimal_cycles,
+        "speedup": actual_cycles / minimal_cycles,
+        "hop_kinds": actual_kinds,
+    }

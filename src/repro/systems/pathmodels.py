@@ -1,0 +1,170 @@
+"""Static transition-path models of the eleven Table-1 systems.
+
+Each :class:`SystemPath` encodes, straight from the published designs,
+the *semantic* of the cross-world call, the theoretically minimal path,
+and the actual path the system takes through the software stack.  The
+Table-1 benchmark recomputes every "Times" ratio from these paths.
+
+World labels use the paper's notation: ``U``/``K`` for user/kernel, a
+subscript-like suffix for the domain (``U(vm1)``, ``K(hyp)``,
+``U(qemu@dom0)``...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class SystemPath:
+    """One surveyed system."""
+
+    name: str
+    category: str            # Security | Decoupling | VMI
+    description: str
+    semantic: str            # syscall | IPC call | I/O op
+    minimal: Tuple[str, ...]
+    actual: Tuple[str, ...]
+    paper_times: str         # the paper's published ratio, e.g. "3X"
+
+    @property
+    def minimal_crossings(self) -> int:
+        """World switches on the theoretically minimal path."""
+        return len(self.minimal) - 1
+
+    @property
+    def actual_crossings(self) -> int:
+        """World switches on the actual path."""
+        return len(self.actual) - 1
+
+    @property
+    def times(self) -> Fraction:
+        """actual / minimal crossings (the paper's "Times" column)."""
+        return Fraction(self.actual_crossings, self.minimal_crossings)
+
+    @property
+    def times_label(self) -> str:
+        """Formatted like the paper ("3X", "4.5X")."""
+        value = self.times
+        if value.denominator == 1:
+            return f"{value.numerator}X"
+        return f"{float(value):g}X"
+
+
+TABLE1_SYSTEMS: List[SystemPath] = [
+    SystemPath(
+        name="Proxos", category="Security",
+        description="Splits system calls from an application, "
+                    "redirecting critical ones to a trusted OS.",
+        semantic="syscall",
+        minimal=("U(vm1)", "K(vm2)", "U(vm1)"),
+        actual=("U(vm1)", "K(hyp)", "U(vm2)", "K(vm2)", "U(vm2)",
+                "K(hyp)", "U(vm1)"),
+        paper_times="3X"),
+    SystemPath(
+        name="Tahoma", category="Security",
+        description="Browser isolation: each web instance in a VM, a "
+                    "manager in domain-0 controls instances by "
+                    "cross-VM IPC.",
+        semantic="IPC call",
+        minimal=("U(vm)", "U(host)", "U(vm)"),
+        actual=("U(vm)", "K(vm)", "K(host)", "U(host)", "K(host)",
+                "K(vm)", "U(vm)"),
+        paper_times="3X"),
+    SystemPath(
+        name="Overshadow", category="Security",
+        description="Protects applications from an untrusted OS; the "
+                    "hypervisor interposes on every syscall via two "
+                    "user-level shims.",
+        semantic="syscall",
+        minimal=("U(vm)", "K(vm)", "U(vm)"),
+        actual=("U(vm)", "K(hyp)", "U(shim-cloaked)", "K(hyp)", "K(vm)",
+                "U(shim-uncloaked)", "K(hyp)", "U(shim-cloaked)",
+                "K(hyp)", "U(vm)"),
+        paper_times="4.5X"),
+    SystemPath(
+        name="MiniBox", category="Security",
+        description="Two-way sandbox: hypervisor intercepts and "
+                    "selectively redirects syscalls from protected "
+                    "applications to a trusted kernel.",
+        semantic="syscall",
+        minimal=("U(vm1)", "K(vm2)", "U(vm1)"),
+        actual=("U(vm1)", "K(hyp)", "U(vm2)", "K(vm2)", "U(vm2)",
+                "K(hyp)", "U(vm1)"),
+        paper_times="3X"),
+    SystemPath(
+        name="CloudVisor", category="Security",
+        description="Nested virtualization: every VM exit is "
+                    "intercepted by a tiny security monitor below the "
+                    "commodity hypervisor.",
+        semantic="I/O op",
+        minimal=("K(vm)", "U(qemu@dom0)", "K(vm)"),
+        actual=("K(vm)", "K(cloudvisor)", "K(hyp-vm)", "K(cloudvisor)",
+                "K(dom0)", "U(qemu@dom0)", "K(dom0)", "K(cloudvisor)",
+                "K(hyp-vm)", "K(cloudvisor)", "K(vm)"),
+        paper_times="5X"),
+    SystemPath(
+        name="FUSE", category="Decoupling",
+        description="User-space filesystems: the kernel redirects "
+                    "FS-related syscalls to a user-space daemon.",
+        semantic="syscall",
+        minimal=("U(app)", "U(fuse)", "U(app)"),
+        actual=("U(app)", "K(os)", "U(fuse)", "K(os)", "U(app)"),
+        paper_times="2X"),
+    SystemPath(
+        name="Xen emulated devices", category="Decoupling",
+        description="A guest VM's I/O is served by a device model "
+                    "(QEMU) in dom-0, intermediated by the hypervisor.",
+        semantic="I/O op",
+        minimal=("K(vm)", "U(qemu@dom0)", "K(vm)"),
+        actual=("K(vm)", "K(hyp)", "K(dom0)", "U(qemu@dom0)", "K(dom0)",
+                "K(hyp)", "K(vm)"),
+        paper_times="3X"),
+    SystemPath(
+        name="ClickOS", category="Decoupling",
+        description="Xen middlebox platform using the split "
+                    "netfront/netback driver model over miniOS.",
+        semantic="I/O op",
+        minimal=("K(vm)", "U(qemu@dom0)", "K(vm)"),
+        actual=("K(netfront@vm)", "K(hyp)", "K(netback@dom0)", "K(hyp)",
+                "K(netfront@vm)"),
+        paper_times="2X"),
+    SystemPath(
+        name="Xen-Blanket", category="Decoupling",
+        description="Nested 'virtualize once, run everywhere' layer: "
+                    "guest I/O crosses the nested and host "
+                    "virtualization layers.",
+        semantic="I/O op",
+        minimal=("K(vm)", "U(qemu@dom0)", "K(vm)"),
+        actual=("K(ring1@vm)", "K(ring0@vm)", "K(ring1@guest-dom0)",
+                "K(ring0@vm)", "K(hyp)", "K(ring1@host-dom0)",
+                "U(qemu@host-dom0)", "K(ring1@host-dom0)", "K(hyp)",
+                "K(ring0@vm)", "K(ring1@guest-dom0)", "K(ring0@vm)",
+                "K(ring1@vm)"),
+        paper_times="6X"),
+    SystemPath(
+        name="HyperShell", category="Decoupling",
+        description="VM management: a host shell's syscalls are "
+                    "reverse-executed on top of a guest kernel.",
+        semantic="syscall",
+        minimal=("U(host)", "K(vm)", "U(host)"),
+        actual=("U(host)", "K(host)", "K(vm)", "U(vm)", "K(vm)",
+                "K(host)", "U(host)"),
+        paper_times="3X"),
+    SystemPath(
+        name="ShadowContext", category="VMI",
+        description="Introspection via syscall redirection into a "
+                    "dummy process inside the untrusted VM.",
+        semantic="syscall",
+        minimal=("U(vm1)", "K(vm2)", "U(vm1)"),
+        actual=("U(vm1)", "K(vm1)", "K(host)", "U(vm2)", "K(vm2)",
+                "U(vm2)", "K(host)", "K(vm1)", "U(vm1)"),
+        paper_times="4X"),
+]
+
+
+def verify_against_paper() -> List[Tuple[str, str, str]]:
+    """Recompute every ratio; returns (name, computed, paper) rows."""
+    return [(s.name, s.times_label, s.paper_times) for s in TABLE1_SYSTEMS]

@@ -1,0 +1,75 @@
+"""Testbed builders: canonical machine/VM configurations.
+
+The evaluation (Section 7) uses "two VMs which are exactly the same" on
+one Haswell host.  :func:`build_two_vm_machine` reproduces that setup;
+:func:`enter_vm_kernel` moves the CPU into a VM's kernel context, which
+most setup steps (hypercalls, world registration) require.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.guestos import Kernel, boot_kernel
+from repro.hw.costs import (
+    CostModel,
+    DEFAULT_COST_MODEL,
+    FEATURES_VMFUNC,
+    HardwareFeatures,
+)
+from repro.hw.cpu import Mode
+from repro.hw.vmx import ExitReason
+from repro.hypervisor.vm import VirtualMachine
+from repro.machine import Machine
+
+
+def build_two_vm_machine(
+        features: HardwareFeatures = FEATURES_VMFUNC,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        names: Tuple[str, str] = ("vm1", "vm2"),
+) -> Tuple[Machine, VirtualMachine, Kernel, VirtualMachine, Kernel]:
+    """One host, two identical guest VMs with booted kernels.
+
+    Returns ``(machine, vm1, kernel1, vm2, kernel2)`` with the CPU left
+    in the host context.
+    """
+    machine = Machine(features=features, cost_model=cost_model)
+    vm1 = machine.hypervisor.create_vm(names[0])
+    vm2 = machine.hypervisor.create_vm(names[1])
+    kernel1 = boot_kernel(machine, vm1)
+    kernel2 = boot_kernel(machine, vm2)
+    return machine, vm1, kernel1, vm2, kernel2
+
+
+def build_single_vm_machine(
+        features: HardwareFeatures = FEATURES_VMFUNC,
+        cost_model: CostModel = DEFAULT_COST_MODEL,
+        name: str = "vm1",
+) -> Tuple[Machine, VirtualMachine, Kernel]:
+    """One host, one guest VM with a booted kernel."""
+    machine = Machine(features=features, cost_model=cost_model)
+    vm = machine.hypervisor.create_vm(name)
+    kernel = boot_kernel(machine, vm)
+    return machine, vm, kernel
+
+
+def enter_vm_kernel(machine: Machine, vm: VirtualMachine) -> None:
+    """Put the CPU into ``vm``'s kernel context (exiting any current
+    guest first).  Charges the real transition costs."""
+    cpu = machine.cpu
+    if cpu.mode is Mode.NON_ROOT:
+        if cpu.vm_name == vm.name:
+            if cpu.ring != 0:
+                cpu.syscall_trap("to kernel")
+            return
+        machine.hypervisor.exit_to_host(cpu, ExitReason.HLT, "switch VM")
+    machine.hypervisor.launch(cpu, vm)
+    if cpu.ring != 0:
+        cpu.syscall_trap("to kernel")
+
+
+def exit_to_host(machine: Machine) -> None:
+    """Return the CPU to the host kernel context."""
+    cpu = machine.cpu
+    if cpu.mode is Mode.NON_ROOT:
+        machine.hypervisor.exit_to_host(cpu, ExitReason.HLT, "to host")

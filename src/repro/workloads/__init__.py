@@ -1,0 +1,32 @@
+"""Workloads driving the evaluation.
+
+* ``lmbench``   — the microbenchmark operations of Tables 4 and 7
+  (NULL syscall, NULL I/O, open&close, stat, pipe, read, write, fstat,
+  getppid), runnable over any *syscall surface* (native, redirected
+  baseline, redirected optimized);
+* ``utilities`` — the six Table-5 tools (pstree, w, grep, users,
+  uptime, ls) implemented against the guest's /proc and filesystems;
+* ``openssh``   — the Table-6 partitioned scp transfer.
+"""
+
+from repro.workloads.lmbench import (
+    LmbenchSuite,
+    NativeSurface,
+    RedirectedSurface,
+    LibOSSurface,
+    HostShellSurface,
+)
+from repro.workloads.utilities import UTILITIES, UtilityRun, run_utility
+from repro.workloads.openssh import OpenSSHTransfer
+
+__all__ = [
+    "LmbenchSuite",
+    "NativeSurface",
+    "RedirectedSurface",
+    "LibOSSurface",
+    "HostShellSurface",
+    "UTILITIES",
+    "UtilityRun",
+    "run_utility",
+    "OpenSSHTransfer",
+]

@@ -1,0 +1,268 @@
+"""lmbench-class microbenchmark operations (Tables 4 and 7).
+
+The same operation code runs over any :class:`SyscallSurface`, so the
+"Guest Native Linux" column and every system column of Table 4 execute
+identical workloads — only the surface (who serves the syscall, and
+how) differs:
+
+* :class:`NativeSurface`        — a process inside one VM;
+* :class:`RedirectedSurface`    — a process whose syscalls a case-study
+  system forwards to another world;
+* :class:`LibOSSurface`         — Proxos-optimized: the private app runs
+  at ring 0 under its library OS (no trap at all);
+* :class:`HostShellSurface`     — HyperShell-baseline: a host userland
+  shell whose syscalls reverse-execute in a guest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.guestos.fd import OpenFile
+from repro.guestos.kernel import Kernel
+from repro.hw.cpu import Mode, Ring
+from repro.systems.base import CrossWorldSystem, install_redirection
+
+
+class SyscallSurface:
+    """Where (and how) the benchmark's syscalls execute."""
+
+    #: Label used in reports.
+    label: str = "abstract"
+
+    def prepare(self) -> None:
+        """Bring the CPU into the right context to start issuing calls."""
+        raise NotImplementedError
+
+    def syscall(self, name: str, *args, **kwargs) -> Any:
+        """Issue one syscall in the primary context."""
+        raise NotImplementedError
+
+    def syscall_peer(self, name: str, *args, **kwargs) -> Any:
+        """Issue one syscall in the secondary context (pipe partner)."""
+        raise NotImplementedError
+
+    def yield_to_peer(self) -> None:
+        """Switch to the secondary context (blocking-pipe rendezvous)."""
+        raise NotImplementedError
+
+    def yield_to_primary(self) -> None:
+        """Switch back to the primary context."""
+        raise NotImplementedError
+
+    def after_setup(self, fds: Dict[str, int]) -> None:
+        """Hook run after the suite pre-opens descriptors (e.g. to share
+        pipe ends with the peer context, as fork would)."""
+        return None
+
+    def compute(self, cycles: int) -> None:
+        """Charge user-level computation in the primary context."""
+        raise NotImplementedError
+
+
+class NativeSurface(SyscallSurface):
+    """Two plain processes inside one VM."""
+
+    label = "native"
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.proc = kernel.spawn("lmbench")
+        self.peer = kernel.spawn("lmbench-peer")
+
+    def after_setup(self, fds: Dict[str, int]) -> None:
+        """Share the pipe descriptors with the peer process at the same
+        descriptor numbers (as inherited across fork).  With a
+        redirector installed the descriptors live in the remote
+        executor's table and are valid from either process already."""
+        if self.kernel.redirector is not None:
+            return
+        for key in ("p1r", "p1w", "p2r", "p2w"):
+            self.peer.fds.install_at(fds[key], self.proc.fds.get(fds[key]))
+
+    def prepare(self) -> None:
+        from repro.testbed import enter_vm_kernel
+
+        enter_vm_kernel(self.kernel.machine, self.kernel.vm)
+        self.kernel.enter_user(self.proc)
+
+    def syscall(self, name: str, *args, **kwargs) -> Any:
+        return self.proc.syscall(name, *args, **kwargs)
+
+    def syscall_peer(self, name: str, *args, **kwargs) -> Any:
+        return self.peer.syscall(name, *args, **kwargs)
+
+    def yield_to_peer(self) -> None:
+        self.kernel.yield_to(self.peer)
+
+    def yield_to_primary(self) -> None:
+        self.kernel.yield_to(self.proc)
+
+    def compute(self, cycles: int) -> None:
+        """User-level computation inside the benchmark process."""
+        self.proc.compute(cycles)
+
+
+class RedirectedSurface(NativeSurface):
+    """Processes in the system's local VM with redirection installed."""
+
+    def __init__(self, system: CrossWorldSystem,
+                 names: Optional[Tuple[str, ...]] = None) -> None:
+        super().__init__(system.local_kernel)
+        self.system = system
+        self.redirector = install_redirection(system, names)
+        self.label = f"{system.name.lower()}-{system.variant}"
+
+    def after_setup(self, fds: Dict[str, int]) -> None:
+        """Redirected descriptors live in the remote executor's fd table
+        and are valid from either local process — nothing to share."""
+        return None
+
+
+class LibOSSurface(SyscallSurface):
+    """Proxos-optimized: the app runs at ring 0 under MiniOS."""
+
+    label = "proxos-libos"
+
+    def __init__(self, proxos) -> None:
+        self.proxos = proxos
+        self.kernel: Kernel = proxos.local_kernel
+        self.proc = self.kernel.spawn("libos-app")
+        self.peer = self.kernel.spawn("libos-peer")
+
+    def prepare(self) -> None:
+        from repro.testbed import enter_vm_kernel
+
+        enter_vm_kernel(self.kernel.machine, self.kernel.vm)
+        self.kernel.current = self.proc
+
+    def syscall(self, name: str, *args, **kwargs) -> Any:
+        return self.proxos.libos_syscall(name, *args, **kwargs)
+
+    def syscall_peer(self, name: str, *args, **kwargs) -> Any:
+        return self.proxos.libos_syscall(name, *args, **kwargs)
+
+    def yield_to_peer(self) -> None:
+        self.kernel.scheduler.switch_to(self.peer)
+
+    def yield_to_primary(self) -> None:
+        self.kernel.scheduler.switch_to(self.proc)
+
+    def compute(self, cycles: int) -> None:
+        """User-level computation inside the libOS app (ring 0)."""
+        self.kernel.cpu.work(cycles, max(1, cycles // 2),
+                             kind="user_compute")
+
+
+class HostShellSurface(SyscallSurface):
+    """HyperShell-baseline: shell in host userland."""
+
+    label = "hypershell-original"
+
+    def __init__(self, hypershell) -> None:
+        self.hypershell = hypershell
+        self.machine = hypershell.machine
+
+    def prepare(self) -> None:
+        from repro.testbed import exit_to_host
+
+        exit_to_host(self.machine)
+        cpu = self.machine.cpu
+        if cpu.ring == 3:
+            if cpu.page_table is self.hypershell.shell.page_table:
+                return                       # already in the shell
+            cpu.syscall_trap("to host kernel")
+        self.machine.hypervisor.enter_host_user(cpu, self.hypershell.shell)
+
+    def syscall(self, name: str, *args, **kwargs) -> Any:
+        return self.hypershell.shell_syscall(name, *args, **kwargs)
+
+    def syscall_peer(self, name: str, *args, **kwargs) -> Any:
+        return self.hypershell.shell_syscall(name, *args, **kwargs)
+
+    def yield_to_peer(self) -> None:
+        # A host-side process switch between the two shell workers.
+        cpu = self.machine.cpu
+        cpu.perf.charge("context_switch",
+                        self.machine.cost_model.context_switch)
+
+    def yield_to_primary(self) -> None:
+        self.yield_to_peer()
+
+    def compute(self, cycles: int) -> None:
+        """User-level computation inside the host shell."""
+        self.machine.cpu.work(cycles, max(1, cycles // 2),
+                              kind="user_compute")
+
+
+class LmbenchSuite:
+    """The measured operations, over a given surface.
+
+    ``setup()`` pre-opens the descriptors lmbench keeps outside the
+    timed loop (/dev/zero, /dev/null, the pipe pairs).
+    """
+
+    def __init__(self, surface: SyscallSurface) -> None:
+        self.surface = surface
+        self.fds: Dict[str, int] = {}
+
+    def setup(self) -> None:
+        """Open the out-of-loop descriptors and pipes."""
+        s = self.surface
+        s.prepare()
+        self.fds["zero"] = s.syscall("open", "/dev/zero", "r")
+        self.fds["null"] = s.syscall("open", "/dev/null", "w")
+        r1, w1 = s.syscall("pipe")
+        r2, w2 = s.syscall("pipe")
+        self.fds.update(p1r=r1, p1w=w1, p2r=r2, p2w=w2)
+        s.after_setup(self.fds)
+
+    # -- the Table 4 rows ------------------------------------------------
+
+    def null_syscall(self) -> None:
+        """lmbench lat_syscall null (getppid)."""
+        self.surface.syscall("getppid")
+
+    def null_io(self) -> None:
+        """lmbench NULL I/O: one 1-byte read of /dev/zero and one 1-byte
+        write to /dev/null (callers report the average of the two)."""
+        self.surface.syscall("read", self.fds["zero"], 1)
+        self.surface.syscall("write", self.fds["null"], b"\x00")
+
+    def open_close(self) -> None:
+        """lmbench lat_syscall open: open + close of /tmp/f."""
+        fd = self.surface.syscall("open", "/tmp/f", "r")
+        self.surface.syscall("close", fd)
+
+    def stat(self) -> None:
+        """lmbench lat_syscall stat of /tmp/f."""
+        self.surface.syscall("stat", "/tmp/f")
+
+    def pipe_round_trip(self) -> None:
+        """lmbench lat_pipe: pass a token between two processes."""
+        s = self.surface
+        s.syscall("write", self.fds["p1w"], b"t")
+        s.yield_to_peer()
+        s.syscall_peer("read", self.fds["p1r"], 1)
+        s.syscall_peer("write", self.fds["p2w"], b"t")
+        s.yield_to_primary()
+        s.syscall("read", self.fds["p2r"], 1)
+
+    # -- the Table 7 rows (instruction-count experiment) -------------------
+
+    def getppid(self) -> None:
+        """Table 7 row: getppid."""
+        self.surface.syscall("getppid")
+
+    def read_dev_zero(self) -> None:
+        """Table 7 row: read."""
+        self.surface.syscall("read", self.fds["zero"], 1)
+
+    def write_dev_null(self) -> None:
+        """Table 7 row: write."""
+        self.surface.syscall("write", self.fds["null"], b"\x00")
+
+    def fstat(self) -> None:
+        """Table 7 row: fstat."""
+        self.surface.syscall("fstat", self.fds["zero"])

@@ -1,0 +1,64 @@
+"""Table formatter and measurement helper tests."""
+
+import pytest
+
+from repro.analysis.measure import measure_callable, measured_region
+from repro.analysis.tables import format_table, improvement, reduction
+from repro.hw.costs import Cost
+from repro.machine import Machine
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        out = format_table(["A", "Blong"], [[1, 2.5], ["xx", None]],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "A" in lines[2] and "Blong" in lines[2]
+        assert "-" in lines[3]
+        assert "2.50" in out
+        assert "-" in lines[-1]     # None renders as '-'
+
+    def test_large_floats_one_decimal(self):
+        out = format_table(["x"], [[123.456]])
+        assert "123.5" in out
+
+    def test_reduction(self):
+        assert reduction(10.0, 2.0) == pytest.approx(80.0)
+        assert reduction(0.0, 1.0) == 0.0
+
+    def test_improvement(self):
+        assert improvement(30.0, 20.0) == pytest.approx(50.0)
+        assert improvement(5.0, 0.0) == 0.0
+
+
+class TestMeasurement:
+    def test_measured_region_delta(self):
+        machine = Machine()
+        with measured_region(machine, "w", iterations=2) as region:
+            machine.cpu.perf.charge("x", Cost(10, 6800))
+        m = region.measurement
+        assert m is not None
+        assert m.cycles == 3400.0       # per iteration
+        assert m.instructions == 5.0
+        assert m.microseconds == pytest.approx(1.0)
+
+    def test_measure_callable_warmup_not_counted(self):
+        machine = Machine()
+        calls = []
+
+        def op():
+            calls.append(1)
+            machine.cpu.perf.charge("x", Cost(1, 100))
+
+        m = measure_callable(machine, op, iterations=3, warmup=2)
+        assert len(calls) == 5
+        assert m.cycles == 100.0
+
+    def test_world_switch_counting(self):
+        machine = Machine()
+        vm = machine.hypervisor.create_vm("a")
+        with measured_region(machine, "w") as region:
+            machine.hypervisor.launch(machine.cpu, vm)
+            machine.hypervisor.exit_to_host(machine.cpu, "hlt")
+        assert region.measurement.world_switches == 2

@@ -1,0 +1,78 @@
+"""Trace visualization tests."""
+
+import pytest
+
+from repro.analysis.traceviz import lanes_for, render_sequence, summarize
+from repro.hw.trace import TransitionEvent, TransitionTrace
+
+
+def make_events(*transitions):
+    trace = TransitionTrace()
+    for kind, frm, to in transitions:
+        trace.record(kind, frm, to, cycles=100)
+    return list(trace.events)
+
+
+class TestLanes:
+    def test_lane_ordering_guest_before_host(self):
+        events = make_events(
+            ("syscall_trap", "U(vm1)", "K(vm1)"),
+            ("vmexit", "K(vm1)", "K(host)"),
+            ("sysret", "K(host)", "U(host)"))
+        lanes = lanes_for(events)
+        assert lanes.index("U(vm1)") < lanes.index("K(host)")
+        assert lanes.index("U(host)") < lanes.index("K(host)")
+
+    def test_all_worlds_present(self):
+        events = make_events(("world_call", "K(vm1)", "K(vm2)"))
+        assert set(lanes_for(events)) == {"K(vm1)", "K(vm2)"}
+
+
+class TestRender:
+    def test_empty_trace(self):
+        assert render_sequence([]) == "(empty trace)"
+
+    def test_header_and_arrows(self):
+        events = make_events(
+            ("syscall_trap", "U(vm1)", "K(vm1)"),
+            ("sysret", "K(vm1)", "U(vm1)"))
+        out = render_sequence(events, "demo")
+        lines = out.splitlines()
+        assert lines[0] == "demo"
+        assert "U(vm1)" in lines[1] and "K(vm1)" in lines[1]
+        assert any("-trap" in line and ">" in line for line in lines)
+        assert any("<-ret" in line for line in lines)
+
+    def test_self_transition_marker(self):
+        events = make_events(("context_switch", "K(vm1)", "K(vm1)"))
+        out = render_sequence(events)
+        assert "(ctxsw)" in out
+
+    def test_arrow_direction(self):
+        events = make_events(("vmexit", "K(vm1)", "K(host)"),
+                             ("vmentry", "K(host)", "K(vm1)"))
+        out = render_sequence(events)
+        exit_line = next(l for l in out.splitlines() if "exit" in l)
+        enter_line = next(l for l in out.splitlines() if "enter" in l)
+        assert "-exit" in exit_line and ">" in exit_line
+        assert "<-enter" in enter_line and ">" not in enter_line
+
+    def test_one_row_per_event(self):
+        events = make_events(*[("syscall_trap", "U(x)", "K(x)")
+                               if i % 2 == 0 else ("sysret", "K(x)", "U(x)")
+                               for i in range(6)])
+        out = render_sequence(events)
+        assert len(out.splitlines()) == 1 + 6   # header + rows
+
+
+class TestSummarize:
+    def test_statistics(self):
+        events = make_events(
+            ("syscall_trap", "U(vm1)", "K(vm1)"),
+            ("vmexit", "K(vm1)", "K(host)"),
+            ("vmexit", "K(vm1)", "K(host)"))
+        stats = summarize(events)
+        assert stats["events"] == 3
+        assert stats["worlds"] == 3
+        assert stats["kinds"]["vmexit"] == 2
+        assert stats["cycles_in_transitions"] == 300

@@ -1,0 +1,64 @@
+"""Callee-side authorization policy tests."""
+
+import pytest
+
+from repro.core.authorization import (
+    AllowAllPolicy,
+    AllowListPolicy,
+    DenyAllPolicy,
+    PerWorldServicePolicy,
+)
+from repro.errors import AuthorizationDenied
+
+
+class TestPolicies:
+    def test_allow_all(self):
+        AllowAllPolicy().check(12345)
+
+    def test_deny_all(self):
+        with pytest.raises(AuthorizationDenied):
+            DenyAllPolicy().check(1)
+
+    def test_allow_list(self):
+        policy = AllowListPolicy([3, 5])
+        policy.check(3)
+        with pytest.raises(AuthorizationDenied):
+            policy.check(4)
+
+    def test_grant_revoke(self):
+        policy = AllowListPolicy()
+        with pytest.raises(AuthorizationDenied):
+            policy.check(9)
+        policy.grant(9)
+        policy.check(9)
+        policy.revoke(9)
+        with pytest.raises(AuthorizationDenied):
+            policy.check(9)
+
+    def test_per_world_services(self):
+        policy = PerWorldServicePolicy({1: "full", 2: "read-only"})
+        policy.check(1)
+        assert policy.service_for(1) == "full"
+        assert policy.service_for(2) == "read-only"
+        with pytest.raises(AuthorizationDenied):
+            policy.check(3)
+        assert policy.service_for(3) is None
+
+    def test_per_world_default_service(self):
+        policy = PerWorldServicePolicy({}, default="limited")
+        policy.check(42)
+        assert policy.service_for(42) == "limited"
+
+    def test_per_world_grant(self):
+        policy = PerWorldServicePolicy({})
+        policy.grant(7, "metrics")
+        policy.check(7)
+        assert policy.service_for(7) == "metrics"
+
+    def test_denied_carries_wid(self):
+        try:
+            AllowListPolicy().check(77)
+        except AuthorizationDenied as err:
+            assert err.caller_wid == 77
+        else:  # pragma: no cover
+            pytest.fail("expected denial")

@@ -1,0 +1,56 @@
+"""Marshaling convention tests."""
+
+import pytest
+
+from repro.core import convention
+from repro.errors import GuestOSError, SimulationError
+from repro.guestos.fs.inode import InodeType, StatResult
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("value", [
+        None, True, False, 0, -17, 3.5, "hello", b"\x00\xffbytes",
+        (1, "two", b"3"), [1, [2, [3]]], {"k": (1, 2)}, (), {},
+        ("nested", {"deep": [b"\x01", ("t", None)]}),
+    ])
+    def test_basic_values(self, value):
+        assert convention.decode(convention.encode(value)) == value
+
+    def test_stat_result(self):
+        st = StatResult(ino=5, type=InodeType.FILE, mode=0o644, uid=1,
+                        gid=2, size=99, nlink=1, atime=10, mtime=20,
+                        ctime=30)
+        assert convention.decode(convention.encode(st)) == st
+
+    def test_guest_error(self):
+        err = GuestOSError(2, "no such file")
+        decoded = convention.decode(convention.encode(err))
+        assert isinstance(decoded, GuestOSError)
+        assert decoded.errno == 2
+        assert "no such file" in str(decoded)
+
+    def test_unmarshalable_rejected(self):
+        with pytest.raises(SimulationError):
+            convention.encode(object())
+
+    def test_decode_never_executes_code(self):
+        with pytest.raises(SimulationError):
+            convention.decode(b"__import__('os').system('true')")
+
+    def test_corrupt_payload_rejected(self):
+        with pytest.raises(SimulationError):
+            convention.decode(b"((((")
+
+
+class TestRegisterPassing:
+    def test_small_payload_fits(self):
+        assert convention.fits_registers(convention.encode(("getppid",)))
+
+    def test_large_payload_does_not(self):
+        wire = convention.encode(("write", 3, b"x" * 200))
+        assert not convention.fits_registers(wire)
+
+    def test_budget_boundary(self):
+        assert convention.fits_registers(b"x" * convention.REGISTER_BUDGET)
+        assert not convention.fits_registers(
+            b"x" * (convention.REGISTER_BUDGET + 1))

@@ -1,0 +1,179 @@
+"""Security-property tests: the isolation CrossOver promises is
+*enforced* by the simulated hardware/software, not assumed."""
+
+import pytest
+
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.channel import Channel, next_channel_gva
+from repro.core.world import WorldRegistry
+from repro.errors import (
+    EPTViolation,
+    GeneralProtectionFault,
+    GuestOSError,
+    PageFault,
+    WorldQuotaExceeded,
+)
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.paging import PageTable
+from repro.hypervisor.hypercalls import Hypercall
+from repro.machine import Machine
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+@pytest.fixture
+def pair():
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+        features=FEATURES_CROSSOVER)
+    return machine, vm1, k1, vm2, k2
+
+
+class TestMemoryIsolation:
+    def test_vm_cannot_touch_anothers_memory(self, pair):
+        """VM1's EPT simply has no mapping for VM2's guest-physical
+        pages: the spatial isolation world calls rely on."""
+        machine, vm1, k1, vm2, k2 = pair
+        gpa = vm2.map_new_page("vm2-secret")
+        machine.memory.write(vm2.ept.translate(gpa), b"secret")
+        with pytest.raises(EPTViolation):
+            vm1.ept.translate(gpa)
+
+    def test_unshared_channel_is_unreachable(self, pair):
+        """A world that was never given a channel cannot read it: the
+        mapping is absent from its page table."""
+        machine, vm1, k1, vm2, k2 = pair
+        region = machine.hypervisor.create_shared_region([vm1], 1, "chan")
+        channel = Channel(region, next_channel_gva(1))
+        channel.map_into(k1.master_page_table, user=False)
+        channel.host_write(b"for vm1 only")
+        # VM2's kernel context: the GVA is simply not mapped.
+        enter_vm_kernel(machine, vm2)
+        machine.cpu.write_cr3(k2.master_page_table)
+        with pytest.raises(PageFault):
+            channel.read_payload(machine.cpu, machine.memory)
+
+    def test_channel_mapped_but_not_in_ept_faults(self, pair):
+        """Even with a forged page-table mapping, the EPT (second
+        stage, hypervisor-controlled) denies the access."""
+        machine, vm1, k1, vm2, k2 = pair
+        region = machine.hypervisor.create_shared_region([vm1], 1, "chan")
+        channel = Channel(region, next_channel_gva(1))
+        # VM2's kernel forges a PTE at the channel's GVA/GPA...
+        k2.master_page_table.map(channel.gva, region.gpa, user=False)
+        enter_vm_kernel(machine, vm2)
+        machine.cpu.write_cr3(k2.master_page_table)
+        # ...but VM2's EPT has no entry for that common GPA.
+        with pytest.raises(EPTViolation):
+            channel.read_payload(machine.cpu, machine.memory)
+
+    def test_caller_state_lives_in_caller_memory(self, pair):
+        """The return-state stack is a Python-side attribute of the
+        caller World — modelling state kept in the caller's own space;
+        the callee handler gets no reference to it through the API."""
+        machine, vm1, k1, vm2, k2 = pair
+        registry = WorldRegistry(machine)
+        runtime = WorldCallRuntime(machine, registry)
+        seen_requests = []
+
+        def entry(request: CallRequest):
+            seen_requests.append(request)
+            return "ok"
+
+        enter_vm_kernel(machine, vm1)
+        caller = registry.create_kernel_world(k1)
+        enter_vm_kernel(machine, vm2)
+        callee = registry.create_kernel_world(k2, handler=entry)
+        enter_vm_kernel(machine, vm1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        runtime.call(caller, callee.wid, ("x",))
+        request = seen_requests[0]
+        assert set(vars(request)) == {"caller_wid", "payload", "service"}
+
+
+class TestPrivilegeEnforcement:
+    def test_guest_cannot_manage_wtc(self, pair):
+        """Cache management is a root-mode-only operation."""
+        machine, vm1, k1, vm2, k2 = pair
+        entry = machine.world_table.create(
+            host_mode=False, ring=0, ept=vm1.ept,
+            page_table=PageTable("x"), pc=0)
+        enter_vm_kernel(machine, vm1)
+        with pytest.raises(GeneralProtectionFault):
+            machine.cpu.manage_wtc("fill", entry)
+
+    def test_guest_user_cannot_load_cr3(self, pair):
+        machine, vm1, k1, vm2, k2 = pair
+        proc = k1.spawn("p")
+        enter_vm_kernel(machine, vm1)
+        k1.enter_user(proc)
+        with pytest.raises(GeneralProtectionFault):
+            machine.cpu.write_cr3(k1.master_page_table)
+
+    def test_world_creation_quota_stops_dos(self, pair):
+        """'A hypervisor can limit the number of worlds a VM can create
+        to avoid DoS attacks from a malicious VM.'"""
+        machine, vm1, k1, vm2, k2 = pair
+        machine.hypervisor.worlds.quota = 3
+        enter_vm_kernel(machine, vm1)
+        for i in range(3):
+            pt = PageTable(f"w{i}")
+            gpa = vm1.map_new_page("code")
+            pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+            machine.hypervisor.hypercall(
+                machine.cpu, Hypercall.CREATE_WORLD, ring=0,
+                page_table=pt, pc=KERNEL_TEXT_GVA)
+        with pytest.raises(WorldQuotaExceeded):
+            machine.hypervisor.hypercall(
+                machine.cpu, Hypercall.CREATE_WORLD, ring=0,
+                page_table=PageTable("w4"), pc=KERNEL_TEXT_GVA)
+
+
+class TestAuthenticationUnforgeability:
+    def test_caller_wid_comes_from_hardware_not_payload(self, pair):
+        """A malicious caller cannot impersonate another world: the WID
+        the callee trusts is the hardware-delivered one, and a claim
+        smuggled in the payload contradicts it."""
+        machine, vm1, k1, vm2, k2 = pair
+        registry = WorldRegistry(machine)
+        runtime = WorldCallRuntime(machine, registry)
+        verdicts = []
+
+        def entry(request: CallRequest):
+            claimed = request.payload[0]
+            verdicts.append(("spoofed", claimed != request.caller_wid))
+            return request.caller_wid
+
+        enter_vm_kernel(machine, vm1)
+        caller = registry.create_kernel_world(k1)
+        enter_vm_kernel(machine, vm2)
+        callee = registry.create_kernel_world(k2, handler=entry)
+        enter_vm_kernel(machine, vm1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        # The caller claims to be WID 999 in the payload...
+        authentic = runtime.call(caller, callee.wid, (999,))
+        # ...but the hardware told the callee who really called.
+        assert authentic == caller.wid
+        assert verdicts == [("spoofed", True)]
+
+    def test_syscall_error_does_not_leak_callee_state(self, pair):
+        """Remote failures come back as errno values only."""
+        machine, vm1, k1, vm2, k2 = pair
+        registry = WorldRegistry(machine)
+        runtime = WorldCallRuntime(machine, registry)
+        executor = k2.spawn("svc")
+
+        def entry(request: CallRequest):
+            name, *args = request.payload
+            return k2.syscalls.invoke(executor, name, *args)
+
+        enter_vm_kernel(machine, vm1)
+        caller = registry.create_kernel_world(k1)
+        enter_vm_kernel(machine, vm2)
+        callee = registry.create_kernel_world(k2, handler=entry)
+        enter_vm_kernel(machine, vm1)
+        runtime.setup_channel(caller, callee)
+        machine.cpu.write_cr3(k1.master_page_table)
+        with pytest.raises(GuestOSError) as exc:
+            runtime.call(caller, callee.wid, ("open", "/etc/shadow", "r"))
+        assert exc.value.errno == 2
+        assert not hasattr(exc.value, "__traceback_frames__")

@@ -1,0 +1,260 @@
+"""World-call runtime tests: the full software protocol of Section 3.3."""
+
+import pytest
+
+from repro.core.authorization import AllowListPolicy
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.world import WorldRegistry
+from repro.errors import (
+    AuthorizationDenied,
+    CalleeHang,
+    CallTimeout,
+    ControlFlowViolation,
+    GuestOSError,
+    SimulationError,
+    WorldCallError,
+)
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+class Harness:
+    """Two kernel worlds with a runtime, channel, and an echo handler."""
+
+    def __init__(self, handler=None, policy=None):
+        (self.machine, self.vm1, self.k1,
+         self.vm2, self.k2) = build_two_vm_machine(
+            features=FEATURES_CROSSOVER)
+        self.registry = WorldRegistry(self.machine)
+        self.runtime = WorldCallRuntime(self.machine, self.registry)
+        self.executor = self.k2.spawn("executor")
+        self.handler_log = []
+
+        def default_handler(request: CallRequest):
+            self.handler_log.append(request)
+            name, *args = request.payload
+            if name == "echo":
+                return tuple(args)
+            if name == "hang":
+                raise CalleeHang("never returns")
+            return self.k2.syscalls.invoke(self.executor, name, *args)
+
+        enter_vm_kernel(self.machine, self.vm1)
+        self.caller = self.registry.create_kernel_world(self.k1)
+        enter_vm_kernel(self.machine, self.vm2)
+        self.callee = self.registry.create_kernel_world(
+            self.k2, handler=handler or default_handler, policy=policy,
+            service_process=self.executor)
+        enter_vm_kernel(self.machine, self.vm1)
+        self.runtime.setup_channel(self.caller, self.callee, pages=8)
+        self.to_caller_context()
+
+    def to_caller_context(self):
+        enter_vm_kernel(self.machine, self.vm1)
+        self.machine.cpu.write_cr3(self.k1.master_page_table)
+
+    def call(self, *payload, **kwargs):
+        return self.runtime.call(self.caller, self.callee.wid,
+                                 tuple(payload), **kwargs)
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+class TestBasicCalls:
+    def test_echo_roundtrip(self, harness):
+        assert harness.call("echo", 1, "two") == (1, "two")
+        assert harness.runtime.calls_completed == 1
+
+    def test_cpu_returns_to_caller_world(self, harness):
+        harness.call("echo")
+        assert harness.caller.matches_cpu(harness.machine.cpu)
+
+    def test_handler_receives_caller_wid(self, harness):
+        harness.call("echo")
+        assert harness.handler_log[0].caller_wid == harness.caller.wid
+
+    def test_remote_syscall_executes_in_callee_vm(self, harness):
+        pid = harness.call("getpid")
+        assert pid == harness.executor.pid
+
+    def test_remote_errno_reraised_at_caller(self, harness):
+        with pytest.raises(GuestOSError) as exc:
+            harness.call("open", "/tmp/nothing", "r")
+        assert exc.value.errno == 2
+        assert harness.caller.matches_cpu(harness.machine.cpu)
+
+    def test_large_payload_through_channel(self, harness):
+        blob = bytes(range(256)) * 40     # 10 KiB
+        result = harness.call("echo", blob)
+        assert result == (blob,)
+
+    def test_large_payload_without_channel_rejected(self, harness):
+        stranger = harness.registry.create_host_kernel_world(
+            handler=lambda r: None)
+        with pytest.raises(WorldCallError):
+            harness.runtime.call(harness.caller, stranger.wid,
+                                 ("echo", b"x" * 4096))
+
+    def test_call_from_wrong_context_rejected(self, harness):
+        enter_vm_kernel(harness.machine, harness.vm2)
+        with pytest.raises(SimulationError):
+            harness.call("echo")
+
+    def test_call_stack_balanced(self, harness):
+        harness.call("echo")
+        assert harness.caller.call_stack == []
+
+    def test_scheduler_state_restored(self, harness):
+        """Section 5.3: the callee kernel's current process is reloaded
+        for the handler and restored afterwards."""
+        sentinel = harness.k2.spawn("sentinel")
+        harness.k2.current = sentinel
+        seen = []
+        original = harness.callee.handler
+
+        def spying(request):
+            seen.append(harness.k2.current)
+            return original(request)
+
+        harness.callee.handler = spying
+        harness.call("echo")
+        assert seen == [harness.executor]
+        assert harness.k2.current is sentinel
+
+
+class TestAuthorization:
+    def test_denied_caller(self):
+        harness = Harness(policy=AllowListPolicy())   # empty allow list
+        with pytest.raises(AuthorizationDenied):
+            harness.call("echo")
+        assert harness.caller.matches_cpu(harness.machine.cpu)
+
+    def test_granted_caller(self):
+        policy = AllowListPolicy()
+        harness = Harness(policy=policy)
+        policy.grant(harness.caller.wid)
+        assert harness.call("echo", 5) == (5,)
+
+    def test_authorize_false_skips_policy(self):
+        harness = Harness(policy=AllowListPolicy())
+        assert harness.call("echo", 1, authorize=False) == (1,)
+
+    def test_authorization_charged(self, harness):
+        snap = harness.machine.cpu.perf.snapshot()
+        harness.call("echo")
+        delta = snap.delta(harness.machine.cpu.perf.snapshot())
+        assert delta.count("world_authorize") == 1
+
+    def test_minimal_mode_charges_no_authorization(self, harness):
+        snap = harness.machine.cpu.perf.snapshot()
+        harness.call("echo", authorize=False)
+        delta = snap.delta(harness.machine.cpu.perf.snapshot())
+        assert delta.count("world_authorize") == 0
+
+
+class TestConcurrencyAndCFI:
+    def test_reentrant_call_into_busy_world_rejected(self, harness):
+        def reentrant(request):
+            # The callee tries to call itself (handler -> same world).
+            return harness.runtime.call(harness.callee, harness.callee.wid,
+                                        ("echo",))
+
+        harness.callee.handler = reentrant
+        with pytest.raises(WorldCallError):
+            harness.call("echo")
+        # Flags are cleaned up for subsequent calls.
+        assert not harness.callee.busy
+
+    def test_malicious_early_return_detected(self, harness):
+        """A callee that jumps back to the caller on its own violates
+        call/return integrity: the caller's saved state detects it."""
+        def early_return(request):
+            harness.machine.hypervisor.worlds.world_call(
+                harness.machine.cpu, request.caller_wid)
+            return "smuggled"
+
+        harness.callee.handler = early_return
+        with pytest.raises(ControlFlowViolation):
+            harness.call("echo")
+
+    def test_nested_three_world_chain(self):
+        harness = Harness()
+        third_log = []
+
+        def third_handler(request):
+            third_log.append(request.payload)
+            return "third-result"
+
+        third = harness.registry.create_host_kernel_world(
+            handler=third_handler)
+
+        def chaining(request):
+            # K(vm2) calls onwards into the host world.
+            return harness.runtime.call(harness.callee, third.wid,
+                                        ("probe",))
+
+        harness.callee.handler = chaining
+        assert harness.call("anything") == "third-result"
+        assert third_log == [("probe",)]
+        assert harness.caller.matches_cpu(harness.machine.cpu)
+
+
+class TestWatchdog:
+    def test_hang_without_watchdog_wedges(self, harness):
+        with pytest.raises(WorldCallError):
+            harness.call("hang")
+
+    def test_hang_with_watchdog_cancelled(self, harness):
+        harness.runtime.arm_watchdog(harness.caller)
+        with pytest.raises(CallTimeout):
+            harness.call("hang")
+        # The hypervisor restored the caller's world.
+        assert harness.caller.matches_cpu(harness.machine.cpu)
+        assert harness.caller.call_stack == []
+
+    def test_watchdog_arming_costs_a_hypercall(self, harness):
+        snap = harness.machine.cpu.perf.snapshot()
+        harness.runtime.arm_watchdog(harness.caller)
+        delta = snap.delta(harness.machine.cpu.perf.snapshot())
+        assert delta.count("vmexit") == 1
+        assert delta.count("timer_program") == 1
+
+    def test_watchdog_consumed_by_timeout(self, harness):
+        harness.runtime.arm_watchdog(harness.caller)
+        with pytest.raises(CallTimeout):
+            harness.call("hang")
+        with pytest.raises(WorldCallError):
+            harness.call("hang")    # watchdog no longer armed
+
+
+class TestChannels:
+    def test_channel_between(self, harness):
+        assert harness.runtime.channel_between(
+            harness.caller, harness.callee) is not None
+
+    def test_setup_channel_is_a_hypercall_from_guest(self, harness):
+        snap = harness.machine.cpu.perf.snapshot()
+        other = harness.registry.create_host_kernel_world(
+            handler=lambda r: None)
+        harness.to_caller_context()
+        snap = harness.machine.cpu.perf.snapshot()
+        harness.runtime.setup_channel(harness.caller, other)
+        delta = snap.delta(harness.machine.cpu.perf.snapshot())
+        assert delta.count("vmexit") == 1
+
+    def test_watchdog_amortized_across_successful_calls(self, harness):
+        """Section 3.4: one arming covers many calls — successful calls
+        do not consume the watchdog."""
+        harness.runtime.arm_watchdog(harness.caller)
+        for _ in range(3):
+            harness.call("echo", 1)
+        # Still armed: a subsequent hang is recovered.
+        import pytest as _pytest
+
+        from repro.errors import CallTimeout
+
+        with _pytest.raises(CallTimeout):
+            harness.call("hang")

@@ -1,0 +1,110 @@
+"""Section 5.3 software-support tests: OS awareness of world calls.
+
+The paper's scenario: after a world call lands in a kernel, the OS
+still believes the *previous* process is current; a timer interrupt
+that triggers a context switch would then save the new context into
+the wrong process structure.  The runtime's scheduler-state reload
+prevents this; these tests demonstrate both the hazard and the fix.
+"""
+
+import pytest
+
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.world import WorldRegistry
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.idt import IDT
+from repro.hypervisor.injection import VECTOR_TIMER
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+@pytest.fixture
+def setup():
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+        features=FEATURES_CROSSOVER)
+    registry = WorldRegistry(machine)
+    runtime = WorldCallRuntime(machine, registry)
+    executor = k2.spawn("service")
+    state = {}
+
+    def entry(request: CallRequest):
+        state["current_during_call"] = k2.current
+        if request.payload == "preempt":
+            # A timer interrupt fires while serving the world call; the
+            # guest scheduler preempts and later resumes.
+            cpu = machine.cpu
+            cpu.deliver_irq(VECTOR_TIMER, "timer tick")
+            other = k2.spawn("background")
+            before_switch = k2.current
+            k2.scheduler.switch_to(other, "preempt")
+            state["pcb_saved_for"] = before_switch
+            k2.scheduler.switch_to(executor, "resume service")
+            # Restore the world's address space after the excursion.
+            cpu.write_cr3(k2.master_page_table)
+        return "done"
+
+    enter_vm_kernel(machine, vm1)
+    caller = registry.create_kernel_world(k1)
+    enter_vm_kernel(machine, vm2)
+    callee = registry.create_kernel_world(
+        k2, handler=entry, service_process=executor)
+    enter_vm_kernel(machine, vm1)
+    machine.cpu.write_cr3(k1.master_page_table)
+    return machine, runtime, caller, callee, k1, k2, executor, state
+
+
+class TestSchedulerAwareness:
+    def test_kernel_current_is_the_service_process(self, setup):
+        machine, runtime, caller, callee, k1, k2, executor, state = setup
+        app = k1.spawn("vm1-app")
+        k2.current = None
+        runtime.call(caller, callee.wid, "plain")
+        assert state["current_during_call"] is executor
+
+    def test_preemption_during_world_call_saves_right_pcb(self, setup):
+        """With the reload, the scheduler's context save during the
+        world call targets the service process — never a VM1 process."""
+        machine, runtime, caller, callee, k1, k2, executor, state = setup
+        assert runtime.call(caller, callee.wid, "preempt") == "done"
+        assert state["pcb_saved_for"] is executor
+        assert state["pcb_saved_for"].kernel is k2   # a VM2 process
+
+    def test_callee_current_restored_after_call(self, setup):
+        machine, runtime, caller, callee, k1, k2, executor, state = setup
+        sentinel = k2.spawn("sentinel")
+        k2.current = sentinel
+        runtime.call(caller, callee.wid, "plain")
+        assert k2.current is sentinel
+
+    def test_raw_world_call_leaves_scheduler_stale(self, setup):
+        """The hazard itself: bypassing the software support, the callee
+        kernel still believes a VM1-side process is current — exactly
+        the unrecoverable condition Section 5.3 describes."""
+        machine, runtime, caller, callee, k1, k2, executor, state = setup
+        stale = k1.spawn("vm1-proc")
+        k2.current = None
+        # Pretend the OS never learned about the switch: issue the raw
+        # hardware instruction without the runtime.
+        machine.hypervisor.worlds.world_call(machine.cpu, callee.wid)
+        # We are executing VM2's kernel...
+        assert machine.cpu.vm_name == "vm2"
+        # ...but its scheduler state was never reloaded:
+        assert k2.current is not executor
+        machine.hypervisor.worlds.world_call(machine.cpu, caller.wid)
+
+
+class TestConcurrencyLimitation:
+    def test_single_outstanding_call_per_world(self, setup):
+        """Section 5.3: 'our software implementation does not support
+        concurrent cross-world calls from one world'."""
+        machine, runtime, caller, callee, k1, k2, executor, state = setup
+        from repro.errors import WorldCallError
+
+        def reenter(request):
+            return runtime.call(callee, callee.wid, "again")
+
+        callee.handler = reenter
+        with pytest.raises(WorldCallError):
+            runtime.call(caller, callee.wid, "first")
+        # The busy flag was released; the world remains usable.
+        callee.handler = lambda request: "recovered"
+        assert runtime.call(caller, callee.wid, "x") == "recovered"

@@ -1,0 +1,140 @@
+"""World registry + binding table tests."""
+
+import pytest
+
+from repro.core.binding import BindingTable
+from repro.core.call import WorldCallRuntime
+from repro.core.world import WorldRegistry
+from repro.errors import (
+    AuthorizationDenied,
+    ConfigurationError,
+    NoSuchWorld,
+)
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+@pytest.fixture
+def setup():
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+        features=FEATURES_CROSSOVER)
+    registry = WorldRegistry(machine)
+    return machine, vm1, k1, vm2, k2, registry
+
+
+class TestRegistry:
+    def test_kernel_world_registration(self, setup):
+        machine, vm1, k1, vm2, k2, registry = setup
+        enter_vm_kernel(machine, vm1)
+        world = registry.create_kernel_world(k1)
+        assert registry.get(world.wid) is world
+        assert world.entry.owner_vm is vm1
+        assert world.entry.ring == 0
+        assert not world.entry.host_mode
+
+    def test_registration_is_a_hypercall(self, setup):
+        machine, vm1, k1, vm2, k2, registry = setup
+        enter_vm_kernel(machine, vm1)
+        snap = machine.cpu.perf.snapshot()
+        registry.create_kernel_world(k1)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("vmexit") == 1 and delta.count("vmentry") == 1
+
+    def test_user_world_registration(self, setup):
+        machine, vm1, k1, vm2, k2, registry = setup
+        proc = k1.spawn("svc")
+        enter_vm_kernel(machine, vm1)
+        world = registry.create_user_world(k1, proc)
+        assert world.entry.ring == 3
+        assert world.wid in proc.wids
+
+    def test_host_worlds(self, setup):
+        machine, *_rest, registry = setup
+        kernel_world = registry.create_host_kernel_world()
+        assert kernel_world.entry.host_mode
+        assert kernel_world.entry.ept is None
+        proc = machine.hypervisor.create_host_process("svc")
+        user_world = registry.create_host_user_world(proc)
+        assert user_world.entry.ring == 3
+
+    def test_destroy(self, setup):
+        machine, vm1, k1, vm2, k2, registry = setup
+        enter_vm_kernel(machine, vm1)
+        world = registry.create_kernel_world(k1)
+        registry.destroy(world)
+        assert registry.get(world.wid) is None
+        with pytest.raises(NoSuchWorld):
+            machine.world_table.walk_by_wid(world.wid)
+
+    def test_destroy_unregistered_rejected(self, setup):
+        machine, vm1, k1, vm2, k2, registry = setup
+        enter_vm_kernel(machine, vm1)
+        world = registry.create_kernel_world(k1)
+        registry.destroy(world)
+        with pytest.raises(ConfigurationError):
+            registry.destroy(world)
+
+    def test_matches_cpu(self, setup):
+        machine, vm1, k1, vm2, k2, registry = setup
+        enter_vm_kernel(machine, vm1)
+        world = registry.create_kernel_world(k1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        assert world.matches_cpu(machine.cpu)
+        enter_vm_kernel(machine, vm2)
+        assert not world.matches_cpu(machine.cpu)
+
+
+class TestBindingTable:
+    def test_binding_check(self, setup):
+        machine, *_rest, registry = setup
+        table = BindingTable(machine)
+        table.bind(machine.cpu, 1, 2)
+        table.check(machine.cpu, 1, 2)
+        with pytest.raises(AuthorizationDenied):
+            table.check(machine.cpu, 2, 1)
+
+    def test_bind_from_guest_is_hypercall(self, setup):
+        machine, vm1, k1, *_rest, registry = setup
+        table = BindingTable(machine)
+        enter_vm_kernel(machine, vm1)
+        snap = machine.cpu.perf.snapshot()
+        table.bind(machine.cpu, 1, 2)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("vmexit") == 1
+
+    def test_unbind(self, setup):
+        machine, *_rest, registry = setup
+        table = BindingTable(machine)
+        table.bind(machine.cpu, 1, 2)
+        table.unbind(1, 2)
+        with pytest.raises(AuthorizationDenied):
+            table.check(machine.cpu, 1, 2)
+
+    def test_check_is_cheap(self, setup):
+        machine, *_rest, registry = setup
+        table = BindingTable(machine)
+        table.bind(machine.cpu, 1, 2)
+        snap = machine.cpu.perf.snapshot()
+        table.check(machine.cpu, 1, 2)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.cycles == machine.cost_model.binding_check_hw.cycles
+
+    def test_runtime_with_binding_table(self, setup):
+        """Binding-table mode: the hardware check replaces software
+        authorization (Section 3.4 alternative design)."""
+        machine, vm1, k1, vm2, k2, registry = setup
+        table = BindingTable(machine)
+        runtime = WorldCallRuntime(machine, registry, binding_table=table)
+        enter_vm_kernel(machine, vm1)
+        caller = registry.create_kernel_world(k1)
+        enter_vm_kernel(machine, vm2)
+        callee = registry.create_kernel_world(
+            k2, handler=lambda request: "ok")
+        enter_vm_kernel(machine, vm1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        with pytest.raises(AuthorizationDenied):
+            runtime.call(caller, callee.wid, ("x",), authorize=False)
+        table.bind(machine.cpu, caller.wid, callee.wid)
+        machine.cpu.write_cr3(k1.master_page_table)
+        assert runtime.call(caller, callee.wid, ("x",),
+                            authorize=False) == "ok"

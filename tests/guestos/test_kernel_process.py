@@ -1,0 +1,187 @@
+"""Kernel, process and in-guest scheduler tests."""
+
+import pytest
+
+from repro.errors import GuestOSError, SimulationError
+from repro.guestos import boot_kernel
+from repro.guestos.kernel import Kernel, SyscallRedirector
+from repro.testbed import enter_vm_kernel
+
+
+class TestBoot:
+    def test_boot_attaches_kernel(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        kernel = boot_kernel(machine, vm)
+        assert vm.kernel is kernel
+        assert kernel.init.pid == 1
+
+    def test_double_boot_rejected(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        boot_kernel(machine, vm)
+        with pytest.raises(SimulationError):
+            boot_kernel(machine, vm)
+
+    def test_standard_tree_populated(self, single_vm):
+        machine, vm, kernel = single_vm
+        for path in ("/tmp", "/etc/passwd", "/var/run/utmp", "/bin",
+                     "/usr/share/dict/words", "/etc/hostname"):
+            kernel.vfs.resolve(path)
+
+    def test_uptime_advances_with_cycles(self, single_vm):
+        machine, vm, kernel = single_vm
+        t0 = kernel.uptime_seconds()
+        machine.cpu.work(3_400_000, 1)   # 1 ms of cycles
+        assert kernel.uptime_seconds() > t0
+
+
+class TestProcesses:
+    def test_spawn_assigns_pids(self, single_vm):
+        machine, vm, kernel = single_vm
+        a = kernel.spawn("a")
+        b = kernel.spawn("b")
+        assert b.pid == a.pid + 1
+        assert kernel.processes[a.pid] is a
+
+    def test_address_space_isolated(self, single_vm):
+        machine, vm, kernel = single_vm
+        a = kernel.spawn("a")
+        b = kernel.spawn("b")
+        assert a.page_table.root != b.page_table.root
+
+    def test_kernel_mapped_in_every_process(self, single_vm):
+        from repro.guestos.kernel import KERNEL_TEXT_GVA
+
+        machine, vm, kernel = single_vm
+        proc = kernel.spawn("p")
+        assert proc.page_table.translate(
+            KERNEL_TEXT_GVA, user=False, execute=True)
+        with pytest.raises(Exception):
+            proc.page_table.translate(KERNEL_TEXT_GVA, user=True)
+
+    def test_reap_zombie_with_parent(self, single_vm):
+        machine, vm, kernel = single_vm
+        child = kernel.spawn("c", parent=kernel.init)
+        kernel.reap(child, 3)
+        assert child.state == "zombie"
+        assert child.exit_code == 3
+        assert child.pid in kernel.processes   # waits for the parent
+
+    def test_reap_orphan_disappears(self, single_vm):
+        machine, vm, kernel = single_vm
+        orphan = kernel.spawn("o")
+        kernel.reap(orphan, 0)
+        assert orphan.pid not in kernel.processes
+
+    def test_syscall_requires_running(self, running_process):
+        machine, kernel, proc = running_process
+        other = kernel.spawn("other")
+        with pytest.raises(SimulationError):
+            other.syscall("getpid")
+
+    def test_compute_charges_user_time(self, running_process):
+        machine, kernel, proc = running_process
+        snap = machine.cpu.perf.snapshot()
+        proc.compute(5000)
+        assert snap.delta(machine.cpu.perf.snapshot()).cycles == 5000
+
+
+class TestContextManagement:
+    def test_enter_user(self, single_vm):
+        machine, vm, kernel = single_vm
+        proc = kernel.spawn("p")
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(proc)
+        assert machine.cpu.ring == 3
+        assert machine.cpu.cr3 == proc.page_table.root
+        assert kernel.current is proc
+        assert proc.state == "running"
+
+    def test_enter_user_wrong_vm_rejected(self, two_vms):
+        machine, vm1, k1, vm2, k2 = two_vms
+        proc = k2.spawn("p")
+        enter_vm_kernel(machine, vm1)
+        with pytest.raises(SimulationError):
+            k2.enter_user(proc)
+
+    def test_yield_roundtrip(self, single_vm):
+        machine, vm, kernel = single_vm
+        a = kernel.spawn("a")
+        b = kernel.spawn("b")
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(a)
+        kernel.yield_to(b)
+        assert kernel.current is b
+        assert machine.cpu.ring == 3
+        kernel.yield_to(a)
+        assert kernel.current is a
+
+    def test_yield_to_self_is_noop(self, single_vm):
+        machine, vm, kernel = single_vm
+        a = kernel.spawn("a")
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(a)
+        snap = machine.cpu.perf.snapshot()
+        kernel.yield_to(a)
+        assert snap.delta(machine.cpu.perf.snapshot()).cycles == 0
+
+    def test_yield_charges_context_switch(self, single_vm):
+        machine, vm, kernel = single_vm
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(a)
+        snap = machine.cpu.perf.snapshot()
+        kernel.yield_to(b)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("context_switch") == 1
+        assert delta.count("syscall_trap") == 1
+        assert delta.count("sysret") == 1
+
+    def test_switch_to_dead_process_rejected(self, single_vm):
+        machine, vm, kernel = single_vm
+        a, b = kernel.spawn("a"), kernel.spawn("b")
+        kernel.reap(b, 0)
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(a)
+        with pytest.raises(SimulationError):
+            kernel.yield_to(b)
+
+
+class TestDispatch:
+    def test_unknown_syscall_is_enosys(self, running_process):
+        machine, kernel, proc = running_process
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("bogus_call")
+        assert exc.value.errno == 38
+
+    def test_redirector_sees_matching_calls(self, running_process):
+        machine, kernel, proc = running_process
+        seen = []
+
+        class Spy(SyscallRedirector):
+            def should_redirect(self, proc, name, args):
+                return name == "getpid"
+
+            def redirect(self, proc, name, args, kwargs):
+                seen.append(name)
+                return 4242
+
+        kernel.install_redirector(Spy())
+        assert proc.syscall("getpid") == 4242
+        assert proc.syscall("getuid") == 0   # not intercepted
+        assert seen == ["getpid"]
+        kernel.install_redirector(None)
+        assert proc.syscall("getpid") == proc.pid
+
+    def test_execute_syscall_requires_kernel_context(self, single_vm):
+        machine, vm, kernel = single_vm
+        proc = kernel.spawn("p")
+        with pytest.raises(SimulationError):
+            kernel.execute_syscall(proc, "getpid")
+        enter_vm_kernel(machine, vm)
+        assert kernel.execute_syscall(proc, "getpid") == proc.pid
+
+    def test_syscall_round_trip_rings(self, running_process):
+        machine, kernel, proc = running_process
+        assert machine.cpu.ring == 3
+        proc.syscall("getpid")
+        assert machine.cpu.ring == 3

@@ -1,0 +1,136 @@
+"""Guest network stack tests."""
+
+import pytest
+
+from repro.errors import GuestOSError
+from repro.guestos.net import HostEndpoint, MSS, segments_for
+from repro.guestos.pipe import WouldBlock
+from repro.testbed import enter_vm_kernel
+
+
+class TestSegments:
+    def test_segments_for(self):
+        assert segments_for(0) == 1
+        assert segments_for(1) == 1
+        assert segments_for(MSS) == 1
+        assert segments_for(MSS + 1) == 2
+        assert segments_for(10 * MSS) == 10
+
+
+@pytest.fixture
+def connected_guests(two_vms):
+    """Two guest processes connected over the virtual network."""
+    machine, vm1, k1, vm2, k2 = two_vms
+    enter_vm_kernel(machine, vm2)
+    server = k2.spawn("server")
+    k2.enter_user(server)
+    listen_fd = server.syscall("socket")
+    server.syscall("bind", listen_fd, 80)
+    server.syscall("listen", listen_fd)
+
+    enter_vm_kernel(machine, vm1)
+    client = k1.spawn("client")
+    k1.enter_user(client)
+    client_fd = client.syscall("socket")
+    client.syscall("connect", client_fd, "vm2", 80)
+
+    enter_vm_kernel(machine, vm2)
+    k2.enter_user(server)
+    conn_fd = server.syscall("accept", listen_fd)
+    return machine, (k1, client, client_fd), (k2, server, conn_fd)
+
+
+class TestGuestToGuest:
+    def test_data_flows(self, connected_guests):
+        machine, (k1, client, cfd), (k2, server, sfd) = connected_guests
+        enter_vm_kernel(machine, k1.vm)
+        k1.enter_user(client)
+        client.syscall("send", cfd, b"ping")
+        enter_vm_kernel(machine, k2.vm)
+        k2.enter_user(server)
+        assert server.syscall("recv", sfd, 100) == b"ping"
+        server.syscall("send", sfd, b"pong")
+        enter_vm_kernel(machine, k1.vm)
+        k1.enter_user(client)
+        assert client.syscall("recv", cfd, 100) == b"pong"
+
+    def test_send_costs_include_vm_exit(self, connected_guests):
+        machine, (k1, client, cfd), _ = connected_guests
+        enter_vm_kernel(machine, k1.vm)
+        k1.enter_user(client)
+        snap = machine.cpu.perf.snapshot()
+        client.syscall("send", cfd, b"x")
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("vmexit") == 1
+        assert delta.count("vmentry") == 1
+        assert delta.count("tcp_segment") >= 1
+        assert delta.count("host_bridge") == 1
+
+    def test_bulk_send_charges_per_segment(self, connected_guests):
+        machine, (k1, client, cfd), _ = connected_guests
+        enter_vm_kernel(machine, k1.vm)
+        k1.enter_user(client)
+        small = machine.cpu.perf.snapshot()
+        client.syscall("send", cfd, b"x")
+        small_cost = small.delta(machine.cpu.perf.snapshot()).cycles
+        big = machine.cpu.perf.snapshot()
+        client.syscall("send", cfd, b"x" * (8 * MSS))
+        big_cost = big.delta(machine.cpu.perf.snapshot()).cycles
+        assert big_cost > 4 * small_cost
+
+    def test_recv_empty_would_block(self, connected_guests):
+        machine, (k1, client, cfd), _ = connected_guests
+        enter_vm_kernel(machine, k1.vm)
+        k1.enter_user(client)
+        with pytest.raises(WouldBlock):
+            client.syscall("recv", cfd, 10)
+
+    def test_connect_refused(self, two_vms):
+        machine, vm1, k1, vm2, k2 = two_vms
+        enter_vm_kernel(machine, vm1)
+        proc = k1.spawn("p")
+        k1.enter_user(proc)
+        fd = proc.syscall("socket")
+        with pytest.raises(GuestOSError):
+            proc.syscall("connect", fd, "vm2", 9999)
+
+    def test_port_conflict(self, two_vms):
+        machine, vm1, k1, vm2, k2 = two_vms
+        enter_vm_kernel(machine, vm1)
+        proc = k1.spawn("p")
+        k1.enter_user(proc)
+        a = proc.syscall("socket")
+        proc.syscall("bind", a, 80)
+        b = proc.syscall("socket")
+        with pytest.raises(GuestOSError):
+            proc.syscall("bind", b, 80)
+
+    def test_close_releases_port(self, two_vms):
+        machine, vm1, k1, vm2, k2 = two_vms
+        enter_vm_kernel(machine, vm1)
+        proc = k1.spawn("p")
+        k1.enter_user(proc)
+        a = proc.syscall("socket")
+        proc.syscall("bind", a, 80)
+        proc.syscall("close", a)
+        b = proc.syscall("socket")
+        proc.syscall("bind", b, 80)
+
+
+class TestHostEndpoint:
+    def test_guest_to_host(self, two_vms):
+        machine, vm1, k1, vm2, k2 = two_vms
+        endpoint = HostEndpoint(machine.network, 2222, "client")
+        enter_vm_kernel(machine, vm1)
+        proc = k1.spawn("p")
+        k1.enter_user(proc)
+        fd = proc.syscall("socket")
+        proc.syscall("connect", fd, "host", 2222)
+        proc.syscall("send", fd, b"to-host")
+        assert endpoint.take(100) == b"to-host"
+        assert endpoint.take(100) == b""
+
+    def test_host_port_conflict(self, machine):
+        HostEndpoint(machine.network, 5, "a")
+        with pytest.raises(GuestOSError):
+            HostEndpoint(machine.network, 5, "b")

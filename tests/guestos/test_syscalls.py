@@ -1,0 +1,231 @@
+"""System call behaviour tests (the guest kernel's syscall surface)."""
+
+import pytest
+
+from repro.errors import GuestOSError
+from repro.guestos.fs.inode import Errno, InodeType
+from repro.guestos.pipe import WouldBlock
+
+
+class TestIdentity:
+    def test_getpid_getppid(self, running_process):
+        machine, kernel, proc = running_process
+        assert proc.syscall("getpid") == proc.pid
+        assert proc.syscall("getppid") == 0   # spawned without parent
+
+    def test_getppid_with_parent(self, single_vm):
+        from repro.testbed import enter_vm_kernel
+
+        machine, vm, kernel = single_vm
+        child = kernel.spawn("child", parent=kernel.init)
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(child)
+        assert child.syscall("getppid") == kernel.init.pid
+
+    def test_uname(self, running_process):
+        machine, kernel, proc = running_process
+        info = proc.syscall("uname")
+        assert info["nodename"] == kernel.vm.name
+        assert info["sysname"] == "Linux"
+
+    def test_time_and_sysinfo(self, running_process):
+        machine, kernel, proc = running_process
+        assert proc.syscall("time") >= 3600
+        info = proc.syscall("sysinfo")
+        assert info["procs"] == len(kernel.processes)
+
+
+class TestFileIO:
+    def test_open_read_write_close(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/out", "rw", create=True)
+        assert proc.syscall("write", fd, b"hello world") == 11
+        proc.syscall("lseek", fd, 0, "set")
+        assert proc.syscall("read", fd, 5) == b"hello"
+        assert proc.syscall("read", fd, 100) == b" world"
+        proc.syscall("close", fd)
+
+    def test_open_missing_enoent(self, running_process):
+        machine, kernel, proc = running_process
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("open", "/tmp/missing", "r")
+        assert exc.value.errno == Errno.ENOENT
+
+    def test_open_trunc(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/t", "w", create=True)
+        proc.syscall("write", fd, b"0123456789")
+        proc.syscall("close", fd)
+        fd = proc.syscall("open", "/tmp/t", "w", trunc=True)
+        proc.syscall("close", fd)
+        assert proc.syscall("stat", "/tmp/t").size == 0
+
+    def test_read_write_permissions(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/f", "r")
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("write", fd, b"x")
+        assert exc.value.errno == Errno.EBADF
+        fdw = proc.syscall("open", "/tmp/f", "w")
+        with pytest.raises(GuestOSError):
+            proc.syscall("read", fdw, 1)
+
+    def test_bad_fd(self, running_process):
+        machine, kernel, proc = running_process
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("read", 77, 1)
+        assert exc.value.errno == Errno.EBADF
+
+    def test_sparse_write_zero_fills(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/sparse", "rw", create=True)
+        proc.syscall("lseek", fd, 8, "set")
+        proc.syscall("write", fd, b"x")
+        proc.syscall("lseek", fd, 0, "set")
+        assert proc.syscall("read", fd, 9) == b"\x00" * 8 + b"x"
+
+    def test_lseek_whence(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/f", "r")
+        size = proc.syscall("fstat", fd).size
+        assert proc.syscall("lseek", fd, 0, "end") == size
+        assert proc.syscall("lseek", fd, -1, "cur") == size - 1
+        with pytest.raises(GuestOSError):
+            proc.syscall("lseek", fd, -100, "set")
+        with pytest.raises(GuestOSError):
+            proc.syscall("lseek", fd, 0, "sideways")
+
+    def test_dup_shares_offset(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/f", "r")
+        fd2 = proc.syscall("dup", fd)
+        proc.syscall("read", fd, 4)
+        rest = proc.syscall("read", fd2, 100)
+        assert not rest.startswith(b"lmbe")   # offset advanced via fd
+
+    def test_dev_zero_and_null(self, running_process):
+        machine, kernel, proc = running_process
+        z = proc.syscall("open", "/dev/zero", "r")
+        assert proc.syscall("read", z, 3) == b"\x00\x00\x00"
+        n = proc.syscall("open", "/dev/null", "w")
+        assert proc.syscall("write", n, b"gone") == 4
+
+    def test_fstat_matches_stat(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/f", "r")
+        assert proc.syscall("fstat", fd).ino == \
+            proc.syscall("stat", "/tmp/f").ino
+
+
+class TestNamespace:
+    def test_stat(self, running_process):
+        machine, kernel, proc = running_process
+        st = proc.syscall("stat", "/etc/passwd")
+        assert st.type is InodeType.FILE
+        assert st.size > 0
+
+    def test_mkdir_rmdir(self, running_process):
+        machine, kernel, proc = running_process
+        proc.syscall("mkdir", "/tmp/d")
+        assert proc.syscall("stat", "/tmp/d").type is InodeType.DIR
+        proc.syscall("rmdir", "/tmp/d")
+        with pytest.raises(GuestOSError):
+            proc.syscall("stat", "/tmp/d")
+
+    def test_unlink(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/tmp/u", "w", create=True)
+        proc.syscall("close", fd)
+        proc.syscall("unlink", "/tmp/u")
+        with pytest.raises(GuestOSError):
+            proc.syscall("stat", "/tmp/u")
+
+    def test_symlink_readlink(self, running_process):
+        machine, kernel, proc = running_process
+        proc.syscall("symlink", "/tmp/f", "/tmp/ln")
+        assert proc.syscall("readlink", "/tmp/ln") == "/tmp/f"
+        assert proc.syscall("stat", "/tmp/ln").type is InodeType.FILE
+        assert proc.syscall("lstat", "/tmp/ln").type is InodeType.SYMLINK
+
+    def test_readdir(self, running_process):
+        machine, kernel, proc = running_process
+        names = proc.syscall("readdir", "/")
+        assert "tmp" in names and "etc" in names
+
+    def test_access(self, running_process):
+        machine, kernel, proc = running_process
+        assert proc.syscall("access", "/tmp/f") == 0
+        with pytest.raises(GuestOSError):
+            proc.syscall("access", "/tmp/missing")
+
+    def test_chdir(self, running_process):
+        machine, kernel, proc = running_process
+        proc.syscall("chdir", "/tmp")
+        assert proc.cwd == "/tmp"
+        with pytest.raises(GuestOSError):
+            proc.syscall("chdir", "/tmp/f")    # not a dir
+
+
+class TestPipes:
+    def test_pipe_transfer(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        assert proc.syscall("write", w, b"token") == 5
+        assert proc.syscall("read", r, 5) == b"token"
+
+    def test_empty_read_would_block(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        with pytest.raises(WouldBlock):
+            proc.syscall("read", r, 1)
+
+    def test_eof_after_writer_closes(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        proc.syscall("write", w, b"x")
+        proc.syscall("close", w)
+        assert proc.syscall("read", r, 10) == b"x"
+        assert proc.syscall("read", r, 10) == b""
+
+    def test_epipe_after_reader_closes(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        proc.syscall("close", r)
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("write", w, b"x")
+        assert exc.value.errno == Errno.EPIPE
+
+    def test_full_pipe_would_block(self, running_process):
+        from repro.guestos.pipe import PIPE_CAPACITY
+
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        proc.syscall("write", w, b"x" * PIPE_CAPACITY)
+        with pytest.raises(WouldBlock):
+            proc.syscall("write", w, b"y")
+
+    def test_pipe_not_seekable(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("lseek", r, 0, "set")
+        assert exc.value.errno == Errno.ESPIPE
+
+
+class TestProcessSyscalls:
+    def test_fork_wait_exit(self, running_process):
+        machine, kernel, proc = running_process
+        child_pid = proc.syscall("fork")
+        assert child_pid in kernel.processes
+        assert proc.syscall("wait") is None     # child still alive
+        kernel.reap(kernel.processes[child_pid], 7)
+        assert proc.syscall("wait") == (child_pid, 7)
+        assert child_pid not in kernel.processes
+
+    def test_kill(self, running_process):
+        machine, kernel, proc = running_process
+        victim = kernel.spawn("victim")
+        proc.syscall("kill", victim.pid, 9)
+        assert not victim.alive
+        with pytest.raises(GuestOSError):
+            proc.syscall("kill", 9999)

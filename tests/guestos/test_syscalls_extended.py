@@ -1,0 +1,126 @@
+"""Extended syscall surface tests: positioned I/O, rename, fsync,
+ioctl, nanosleep."""
+
+import pytest
+
+from repro.errors import GuestOSError
+from repro.guestos.fs.inode import Errno
+
+
+@pytest.fixture
+def rw_file(running_process):
+    machine, kernel, proc = running_process
+    fd = proc.syscall("open", "/tmp/pfile", "rw", create=True)
+    proc.syscall("write", fd, b"0123456789")
+    return machine, kernel, proc, fd
+
+
+class TestPositionedIO:
+    def test_pread_leaves_offset_alone(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        proc.syscall("lseek", fd, 2, "set")
+        assert proc.syscall("pread", fd, 3, 5) == b"567"
+        assert proc.syscall("lseek", fd, 0, "cur") == 2
+
+    def test_pwrite_leaves_offset_alone(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        proc.syscall("lseek", fd, 1, "set")
+        proc.syscall("pwrite", fd, b"AB", 4)
+        assert proc.syscall("lseek", fd, 0, "cur") == 1
+        assert proc.syscall("pread", fd, 10, 0) == b"0123AB6789"
+
+    def test_pwrite_extends(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        proc.syscall("pwrite", fd, b"Z", 14)
+        assert proc.syscall("fstat", fd).size == 15
+        assert proc.syscall("pread", fd, 5, 10) == b"\x00\x00\x00\x00Z"
+
+    def test_pread_past_eof_empty(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        assert proc.syscall("pread", fd, 10, 100) == b""
+
+    def test_positioned_io_rejected_on_pipes(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("pread", r, 1, 0)
+        assert exc.value.errno == Errno.ESPIPE
+        with pytest.raises(GuestOSError):
+            proc.syscall("pwrite", w, b"x", 0)
+
+    def test_pread_on_device(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/dev/zero", "r")
+        assert proc.syscall("pread", fd, 4, 1000) == b"\x00" * 4
+
+
+class TestRename:
+    def test_rename_moves_file(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        proc.syscall("rename", "/tmp/pfile", "/tmp/renamed")
+        assert proc.syscall("stat", "/tmp/renamed").size == 10
+        with pytest.raises(GuestOSError):
+            proc.syscall("stat", "/tmp/pfile")
+
+    def test_rename_across_directories(self, running_process):
+        machine, kernel, proc = running_process
+        proc.syscall("mkdir", "/tmp/sub")
+        fd = proc.syscall("open", "/tmp/a", "w", create=True)
+        proc.syscall("close", fd)
+        proc.syscall("rename", "/tmp/a", "/tmp/sub/b")
+        proc.syscall("stat", "/tmp/sub/b")
+
+    def test_rename_onto_existing_rejected(self, running_process):
+        machine, kernel, proc = running_process
+        for name in ("x1", "x2"):
+            fd = proc.syscall("open", f"/tmp/{name}", "w", create=True)
+            proc.syscall("close", fd)
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("rename", "/tmp/x1", "/tmp/x2")
+        assert exc.value.errno == Errno.EEXIST
+
+    def test_rename_in_readonly_fs_rejected(self, running_process):
+        machine, kernel, proc = running_process
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("rename", "/dev/null", "/dev/void")
+        assert exc.value.errno == Errno.EROFS
+
+    def test_cross_mount_rename_rejected(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        with pytest.raises(GuestOSError) as exc:
+            proc.syscall("rename", "/tmp/pfile", "/dev/pfile")
+        assert exc.value.errno == Errno.EINVAL
+
+
+class TestMisc:
+    def test_fsync(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        assert proc.syscall("fsync", fd) == 0
+
+    def test_fsync_on_pipe_rejected(self, running_process):
+        machine, kernel, proc = running_process
+        r, w = proc.syscall("pipe")
+        with pytest.raises(GuestOSError):
+            proc.syscall("fsync", w)
+
+    def test_ioctl_on_device(self, running_process):
+        machine, kernel, proc = running_process
+        fd = proc.syscall("open", "/dev/console", "w")
+        assert proc.syscall("ioctl", fd, "TIOCGWINSZ") == 0
+
+    def test_ioctl_on_regular_file_rejected(self, rw_file):
+        machine, kernel, proc, fd = rw_file
+        with pytest.raises(GuestOSError):
+            proc.syscall("ioctl", fd, "TIOCGWINSZ")
+
+    def test_nanosleep_charges_cycles(self, running_process):
+        machine, kernel, proc = running_process
+        snap = machine.cpu.perf.snapshot()
+        proc.syscall("nanosleep", 1000)        # 1 us at 3.4 GHz
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.cycles >= 3400
+
+    def test_nanosleep_negative_rejected(self, running_process):
+        machine, kernel, proc = running_process
+        with pytest.raises(GuestOSError):
+            proc.syscall("nanosleep", -1)

@@ -1,0 +1,94 @@
+"""Cost model unit tests."""
+
+import pytest
+
+from repro.hw.costs import (
+    CLOCK_HZ,
+    Cost,
+    CostModel,
+    DEFAULT_COST_MODEL,
+    FEATURES_BASELINE,
+    FEATURES_CROSSOVER,
+    FEATURES_VMFUNC,
+    HardwareFeatures,
+    us,
+)
+
+
+class TestCost:
+    def test_add(self):
+        assert Cost(1, 2) + Cost(3, 4) == Cost(4, 6)
+
+    def test_scaled(self):
+        assert Cost(2, 5).scaled(3) == Cost(6, 15)
+
+    def test_scaled_zero(self):
+        assert Cost(2, 5).scaled(0) == Cost(0, 0)
+
+    def test_microseconds(self):
+        assert Cost(0, 3400).microseconds == pytest.approx(1.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Cost(1, 1).cycles = 5  # type: ignore[misc]
+
+    def test_default_is_zero(self):
+        assert Cost() == Cost(0, 0)
+
+
+class TestUsConversion:
+    def test_us(self):
+        assert us(CLOCK_HZ / 1e6) == pytest.approx(1.0)
+
+    def test_us_zero(self):
+        assert us(0) == 0.0
+
+
+class TestCostModel:
+    def test_copy_cost_rounds_up(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.copy(1).cycles == cm.copy_per_byte_x16.cycles
+        assert cm.copy(16).cycles == cm.copy_per_byte_x16.cycles
+        assert cm.copy(17).cycles == 2 * cm.copy_per_byte_x16.cycles
+
+    def test_copy_zero_bytes_free(self):
+        assert DEFAULT_COST_MODEL.copy(0) == Cost(0, 0)
+
+    def test_with_overrides(self):
+        cm = DEFAULT_COST_MODEL.with_overrides(vmexit=Cost(0, 5))
+        assert cm.vmexit == Cost(0, 5)
+        assert DEFAULT_COST_MODEL.vmexit.cycles != 5
+
+    def test_as_dict_contains_all_primitives(self):
+        d = DEFAULT_COST_MODEL.as_dict()
+        for key in ("syscall_trap", "vmexit", "world_call_hw",
+                    "vmfunc_ept_switch", "tcp_segment"):
+            assert key in d
+            assert isinstance(d[key], Cost)
+
+    def test_vmfunc_cheaper_than_vmexit_roundtrip(self):
+        cm = DEFAULT_COST_MODEL
+        exit_cost = (cm.vmexit.cycles + cm.vmexit_handle.cycles
+                     + cm.vmentry.cycles)
+        assert cm.vmfunc_ept_switch.cycles < exit_cost / 5
+
+    def test_world_call_cheaper_than_hypercall(self):
+        cm = DEFAULT_COST_MODEL
+        hypercall = (cm.vmexit.cycles + cm.vmexit_handle.cycles
+                     + cm.hypercall_dispatch.cycles + cm.vmentry.cycles)
+        assert cm.world_call_hw.cycles < hypercall / 5
+
+
+class TestHardwareFeatures:
+    def test_default_feature_sets(self):
+        assert not FEATURES_BASELINE.vmfunc
+        assert FEATURES_VMFUNC.vmfunc and not FEATURES_VMFUNC.crossover
+        assert FEATURES_CROSSOVER.vmfunc and FEATURES_CROSSOVER.crossover
+
+    def test_custom_cache_size(self):
+        features = HardwareFeatures(crossover=True, wt_cache_entries=4)
+        assert features.wt_cache_entries == 4
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FEATURES_VMFUNC.vmfunc = False  # type: ignore[misc]

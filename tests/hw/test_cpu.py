@@ -1,0 +1,224 @@
+"""CPU core tests: modes, privilege checks, transitions, VMFUNC."""
+
+import pytest
+
+from repro.errors import (
+    GeneralProtectionFault,
+    InvalidOpcode,
+    SimulationError,
+    VMFuncFault,
+)
+from repro.hw.costs import (
+    DEFAULT_COST_MODEL,
+    FEATURES_BASELINE,
+    FEATURES_CROSSOVER,
+    FEATURES_VMFUNC,
+)
+from repro.hw.cpu import CPU, Mode, Ring, VMFUNC_EPT_SWITCH
+from repro.hw.ept import EPT, EPTPList
+from repro.hw.idt import IDT
+from repro.hw.paging import PageTable
+from repro.hw.vmx import VMCS
+
+
+def make_cpu(features=FEATURES_VMFUNC):
+    cpu = CPU(DEFAULT_COST_MODEL, features)
+    cpu.page_table = PageTable("host")
+    return cpu
+
+
+def enter_guest(cpu, name="vm1"):
+    """Place the CPU into a guest kernel context."""
+    ept = EPT(name)
+    eptp_list = EPTPList(8)
+    eptp_list.set(1, ept)
+    vmcs = VMCS(name, ept, eptp_list)
+    vmcs.guest.page_table = PageTable(f"{name}-kern")
+    cpu.vmentry(vmcs)
+    return vmcs
+
+
+class TestRingTransitions:
+    def test_syscall_trap_and_sysret(self):
+        cpu = make_cpu()
+        cpu.ring = int(Ring.USER)
+        cpu.syscall_trap()
+        assert cpu.ring == 0
+        cpu.sysret()
+        assert cpu.ring == 3
+
+    def test_syscall_from_kernel_faults(self):
+        cpu = make_cpu()
+        with pytest.raises(GeneralProtectionFault):
+            cpu.syscall_trap()
+
+    def test_sysret_from_user_faults(self):
+        cpu = make_cpu()
+        cpu.ring = int(Ring.USER)
+        with pytest.raises(GeneralProtectionFault):
+            cpu.sysret()
+
+    def test_world_label_tracks_ring_and_vm(self):
+        cpu = make_cpu()
+        assert cpu.world_label == "K(host)"
+        cpu.ring = 3
+        assert cpu.world_label == "U(host)"
+        cpu.ring = 0
+        enter_guest(cpu, "vmX")
+        assert cpu.world_label == "K(vmX)"
+
+    def test_transitions_are_charged_and_traced(self):
+        cpu = make_cpu()
+        cpu.ring = 3
+        before = cpu.perf.cycles
+        cpu.syscall_trap("test")
+        assert cpu.perf.cycles - before == DEFAULT_COST_MODEL.syscall_trap.cycles
+        assert cpu.trace.kinds()[-1] == "syscall_trap"
+
+
+class TestPrivilegedState:
+    def test_cr3_write_requires_ring0(self):
+        cpu = make_cpu()
+        table = PageTable()
+        cpu.write_cr3(table)
+        assert cpu.cr3 == table.root
+        cpu.ring = 3
+        with pytest.raises(GeneralProtectionFault):
+            cpu.write_cr3(PageTable())
+
+    def test_cli_sti_require_ring0(self):
+        cpu = make_cpu()
+        cpu.cli()
+        assert not cpu.interrupts.interrupts_enabled
+        cpu.sti()
+        cpu.ring = 3
+        with pytest.raises(GeneralProtectionFault):
+            cpu.cli()
+
+    def test_lidt_requires_ring0(self):
+        cpu = make_cpu()
+        idt = IDT()
+        cpu.install_idt(idt)
+        assert cpu.interrupts.idt is idt
+        cpu.ring = 3
+        with pytest.raises(GeneralProtectionFault):
+            cpu.install_idt(IDT())
+
+    def test_irq_delivery_blocked_when_masked(self):
+        cpu = make_cpu()
+        cpu.cli()
+        with pytest.raises(SimulationError):
+            cpu.deliver_irq(0x20)
+
+    def test_irq_delivery_enters_ring0(self):
+        cpu = make_cpu()
+        cpu.ring = 3
+        cpu.deliver_irq(0x20)
+        assert cpu.ring == 0
+
+    def test_context_switch_changes_cr3(self):
+        cpu = make_cpu()
+        table = PageTable()
+        cpu.context_switch(table)
+        assert cpu.page_table is table
+        assert cpu.trace.kinds()[-1] == "context_switch"
+
+
+class TestVMFUNC:
+    def test_ept_switch(self):
+        cpu = make_cpu()
+        vmcs = enter_guest(cpu)
+        other = EPT("vm2")
+        assert cpu.eptp_list is not None
+        cpu.eptp_list.set(2, other)
+        cpu.vmfunc(VMFUNC_EPT_SWITCH, 2)
+        assert cpu.ept is other
+        assert cpu.vm_name == "vm2"
+
+    def test_ept_switch_keeps_ring_and_cr3(self):
+        cpu = make_cpu()
+        vmcs = enter_guest(cpu)
+        other = EPT("vm2")
+        cpu.eptp_list.set(2, other)
+        cr3 = cpu.cr3
+        ring = cpu.ring
+        cpu.vmfunc(VMFUNC_EPT_SWITCH, 2)
+        assert cpu.cr3 == cr3 and cpu.ring == ring
+
+    def test_usable_from_user_mode(self):
+        """VMFUNC can be invoked at any CPL (Section 4.1)."""
+        cpu = make_cpu()
+        enter_guest(cpu)
+        cpu.ring = 3
+        cpu.vmfunc(VMFUNC_EPT_SWITCH, 1)   # own EPT: a no-op switch
+
+    def test_requires_non_root(self):
+        cpu = make_cpu()
+        with pytest.raises(GeneralProtectionFault):
+            cpu.vmfunc(VMFUNC_EPT_SWITCH, 1)
+
+    def test_missing_hardware_support(self):
+        cpu = make_cpu(FEATURES_BASELINE)
+        enter_guest(cpu)
+        with pytest.raises(InvalidOpcode):
+            cpu.vmfunc(VMFUNC_EPT_SWITCH, 1)
+
+    def test_empty_slot_faults(self):
+        cpu = make_cpu()
+        enter_guest(cpu)
+        with pytest.raises(VMFuncFault):
+            cpu.vmfunc(VMFUNC_EPT_SWITCH, 5)
+
+    def test_out_of_range_index_faults(self):
+        cpu = make_cpu()
+        enter_guest(cpu)
+        with pytest.raises(VMFuncFault):
+            cpu.vmfunc(VMFUNC_EPT_SWITCH, 100)
+
+    def test_unknown_function_faults(self):
+        cpu = make_cpu()
+        enter_guest(cpu)
+        with pytest.raises(VMFuncFault):
+            cpu.vmfunc(0x7, 0)
+
+    def test_world_call_requires_crossover_hardware(self):
+        cpu = make_cpu(FEATURES_VMFUNC)
+        enter_guest(cpu)
+        with pytest.raises(InvalidOpcode):
+            cpu.vmfunc(0x1, 1)
+
+
+class TestMemoryAccess:
+    def test_translate_two_stage(self):
+        from repro.hw.mem import HostMemory
+
+        cpu = make_cpu()
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        vmcs = enter_guest(cpu)
+        gpa = 0x3000
+        vmcs.guest.ept.map(gpa, frame.hpa)
+        cpu.page_table.map(0x40_0000, gpa, user=False)
+        cpu.write_virt(mem, 0x40_0010, b"abc")
+        assert cpu.read_virt(mem, 0x40_0010, 3) == b"abc"
+        assert cpu.translate(0x40_0000) == frame.hpa
+
+    def test_root_mode_translation_is_single_stage(self):
+        from repro.hw.mem import HostMemory
+
+        cpu = make_cpu()
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        cpu.page_table.map(0x50_0000, frame.hpa, user=False)
+        assert cpu.translate(0x50_0000) == frame.hpa
+
+    def test_copy_charges(self):
+        from repro.hw.mem import HostMemory
+
+        cpu = make_cpu()
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        cpu.page_table.map(0x50_0000, frame.hpa, user=False)
+        before = cpu.perf.cycles
+        cpu.write_virt(mem, 0x50_0000, b"x" * 160)
+        assert cpu.perf.cycles - before == DEFAULT_COST_MODEL.copy(160).cycles

@@ -1,0 +1,110 @@
+"""Host memory tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.mem import (
+    HostMemory,
+    PAGE_SIZE,
+    is_page_aligned,
+    page_base,
+    page_number,
+    page_offset,
+)
+
+
+class TestAddressHelpers:
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(PAGE_SIZE) == 1
+        assert page_number(PAGE_SIZE + 17) == 1
+
+    def test_page_offset(self):
+        assert page_offset(PAGE_SIZE + 17) == 17
+        assert page_offset(PAGE_SIZE) == 0
+
+    def test_page_base(self):
+        assert page_base(PAGE_SIZE + 17) == PAGE_SIZE
+
+    def test_alignment(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(2 * PAGE_SIZE)
+        assert not is_page_aligned(100)
+
+
+class TestHostMemory:
+    def test_allocate_unique_frames(self):
+        mem = HostMemory(1 << 20)
+        frames = [mem.allocate() for _ in range(4)]
+        assert len({f.hpa for f in frames}) == 4
+        assert mem.allocated_frames == 4
+
+    def test_hpa_zero_never_allocated(self):
+        mem = HostMemory(1 << 20)
+        assert mem.allocate().hpa != 0
+
+    def test_read_write_roundtrip(self):
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        mem.write(frame.hpa + 100, b"hello")
+        assert mem.read(frame.hpa + 100, 5) == b"hello"
+
+    def test_fresh_frames_are_zeroed(self):
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        assert mem.read(frame.hpa, PAGE_SIZE) == bytes(PAGE_SIZE)
+
+    def test_cross_frame_write_requires_both_mapped(self):
+        mem = HostMemory(1 << 20)
+        a = mem.allocate()
+        b = mem.allocate()
+        assert b.hpa == a.hpa + PAGE_SIZE  # contiguous in this model
+        mem.write(a.hpa + PAGE_SIZE - 2, b"wxyz")
+        assert mem.read(a.hpa + PAGE_SIZE - 2, 4) == b"wxyz"
+
+    def test_unmapped_access_fails(self):
+        mem = HostMemory(1 << 20)
+        with pytest.raises(SimulationError):
+            mem.read(0x100000, 1)
+
+    def test_free_then_access_fails(self):
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        mem.free(frame.hpa)
+        with pytest.raises(SimulationError):
+            mem.read(frame.hpa, 1)
+
+    def test_double_free_fails(self):
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        mem.free(frame.hpa)
+        with pytest.raises(SimulationError):
+            mem.free(frame.hpa)
+
+    def test_exhaustion(self):
+        mem = HostMemory(4 * PAGE_SIZE)
+        mem.allocate()
+        mem.allocate()
+        mem.allocate()
+        with pytest.raises(SimulationError):
+            mem.allocate()
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SimulationError):
+            HostMemory(100)
+        with pytest.raises(SimulationError):
+            HostMemory(0)
+
+    def test_frame_bounds_checked(self):
+        mem = HostMemory(1 << 20)
+        frame = mem.allocate()
+        with pytest.raises(SimulationError):
+            frame.write(PAGE_SIZE - 1, b"ab")
+        with pytest.raises(SimulationError):
+            frame.read(-1, 2)
+
+    def test_allocate_many(self):
+        mem = HostMemory(1 << 20)
+        frames = mem.allocate_many(5, "batch")
+        assert len(frames) == 5
+        assert all(f.label == "batch" for f in frames)

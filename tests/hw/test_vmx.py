@@ -1,0 +1,112 @@
+"""VMCS / VM entry / VM exit tests."""
+
+import pytest
+
+from repro.errors import GeneralProtectionFault, SimulationError
+from repro.hw.costs import DEFAULT_COST_MODEL, FEATURES_VMFUNC
+from repro.hw.cpu import CPU, Mode
+from repro.hw.ept import EPT, EPTPList
+from repro.hw.idt import IDT
+from repro.hw.paging import PageTable
+from repro.hw.vmx import ExitReason, VMCS
+
+
+def make_cpu():
+    cpu = CPU(DEFAULT_COST_MODEL, FEATURES_VMFUNC)
+    cpu.page_table = PageTable("host")
+    return cpu
+
+
+def make_vmcs(name="vm1"):
+    ept = EPT(name)
+    lst = EPTPList(8)
+    lst.set(1, ept)
+    vmcs = VMCS(name, ept, lst)
+    vmcs.guest.page_table = PageTable(f"{name}-kern")
+    return vmcs
+
+
+class TestVMEntryExit:
+    def test_entry_loads_guest_state(self):
+        cpu = make_cpu()
+        vmcs = make_vmcs()
+        cpu.vmentry(vmcs)
+        assert cpu.mode is Mode.NON_ROOT
+        assert cpu.vm_name == "vm1"
+        assert cpu.ept is vmcs.guest.ept
+        assert cpu.eptp_list is vmcs.guest.eptp_list
+        assert cpu.current_vmcs is vmcs
+        assert vmcs.launched
+
+    def test_exit_restores_host_state(self):
+        cpu = make_cpu()
+        host_pt = cpu.page_table
+        vmcs = make_vmcs()
+        cpu.vmentry(vmcs)
+        cpu.vmexit(ExitReason.VMCALL)
+        assert cpu.mode is Mode.ROOT
+        assert cpu.page_table is host_pt
+        assert cpu.ept is None
+        assert cpu.vm_name == "host"
+        assert vmcs.exit_reason == ExitReason.VMCALL
+
+    def test_exit_saves_guest_ring(self):
+        cpu = make_cpu()
+        vmcs = make_vmcs()
+        cpu.vmentry(vmcs)
+        cpu.ring = 3
+        cpu.vmexit(ExitReason.EPT_VIOLATION)
+        assert vmcs.guest.ring == 3
+        cpu.vmentry(vmcs)
+        assert cpu.ring == 3
+
+    def test_guest_idt_and_if_preserved_across_exit(self):
+        cpu = make_cpu()
+        vmcs = make_vmcs()
+        cpu.vmentry(vmcs)
+        idt = IDT("guest")
+        cpu.install_idt(idt)
+        cpu.cli()
+        cpu.vmexit(ExitReason.IO)
+        assert cpu.interrupts.idt is not idt
+        cpu.vmentry(vmcs)
+        assert cpu.interrupts.idt is idt
+        assert not cpu.interrupts.interrupts_enabled
+        cpu.sti()
+
+    def test_entry_requires_root_ring0(self):
+        cpu = make_cpu()
+        vmcs = make_vmcs()
+        cpu.ring = 3
+        with pytest.raises(GeneralProtectionFault):
+            cpu.vmentry(vmcs)
+
+    def test_nested_entry_rejected(self):
+        cpu = make_cpu()
+        cpu.vmentry(make_vmcs("a"))
+        with pytest.raises(GeneralProtectionFault):
+            cpu.vmentry(make_vmcs("b"))
+
+    def test_exit_without_entry_rejected(self):
+        cpu = make_cpu()
+        with pytest.raises(GeneralProtectionFault):
+            cpu.vmexit(ExitReason.HLT)
+
+    def test_exit_charges_hardware_cost(self):
+        cpu = make_cpu()
+        vmcs = make_vmcs()
+        cpu.vmentry(vmcs)
+        before = cpu.perf.cycles
+        cpu.vmexit(ExitReason.HLT)
+        assert cpu.perf.cycles - before == DEFAULT_COST_MODEL.vmexit.cycles
+
+    def test_two_vms_alternate(self):
+        cpu = make_cpu()
+        a, b = make_vmcs("a"), make_vmcs("b")
+        cpu.vmentry(a)
+        cpu.vmexit(ExitReason.HLT)
+        cpu.vmentry(b)
+        assert cpu.vm_name == "b"
+        cpu.vmexit(ExitReason.HLT)
+        cpu.vmentry(a)
+        assert cpu.vm_name == "a"

@@ -1,0 +1,178 @@
+"""Hardware world_call datapath tests (Sections 3.3 / 5.1)."""
+
+import pytest
+
+from repro.errors import (
+    NoSuchWorld,
+    PageFault,
+    WorldNotPresent,
+    WorldTableCacheMiss,
+)
+from repro.hw.costs import FEATURES_CROSSOVER, HardwareFeatures
+from repro.hw.cpu import Mode, VMFUNC_WORLD_CALL, WID_REGISTER
+from repro.hw.paging import PageTable
+from repro.machine import Machine
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.testbed import enter_vm_kernel
+
+
+@pytest.fixture
+def setup():
+    """Two VMs with registered kernel worlds; CPU in vm1's kernel."""
+    machine = Machine(features=FEATURES_CROSSOVER)
+    worlds = {}
+    tables = {}
+    for name in ("vm1", "vm2"):
+        vm = machine.hypervisor.create_vm(name)
+        pt = PageTable(f"{name}-kern")
+        gpa = vm.map_new_page("kernel-text")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entry = machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA)
+        worlds[name] = entry
+        tables[name] = pt
+    vm1 = machine.hypervisor.vm_by_name("vm1")
+    machine.hypervisor.launch(machine.cpu, vm1)
+    machine.cpu.write_cr3(tables["vm1"])
+    return machine, worlds, tables
+
+
+class TestWorldCall:
+    def test_cold_call_misses_then_succeeds(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        with pytest.raises(WorldTableCacheMiss):
+            cpu.vmfunc(VMFUNC_WORLD_CALL, worlds["vm2"].wid)
+        # After the hypervisor services the misses, the call completes.
+        caller = machine.hypervisor.worlds.world_call(cpu, worlds["vm2"].wid)
+        assert caller == worlds["vm1"].wid
+        assert cpu.vm_name == "vm2"
+
+    def test_switch_changes_full_context(self, setup):
+        machine, worlds, tables = setup
+        cpu = machine.cpu
+        machine.hypervisor.worlds.world_call(cpu, worlds["vm2"].wid)
+        assert cpu.mode is Mode.NON_ROOT
+        assert cpu.ring == 0
+        assert cpu.cr3 == tables["vm2"].root
+        assert cpu.eptp == worlds["vm2"].eptp
+        assert cpu.regs.read("rip") == KERNEL_TEXT_GVA
+
+    def test_caller_wid_delivered_in_register(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        machine.hypervisor.worlds.world_call(cpu, worlds["vm2"].wid)
+        assert cpu.regs.read(WID_REGISTER) == worlds["vm1"].wid
+
+    def test_return_is_another_world_call(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        svc = machine.hypervisor.worlds
+        svc.world_call(cpu, worlds["vm2"].wid)
+        returned = svc.world_call(cpu, worlds["vm1"].wid)
+        assert returned == worlds["vm2"].wid
+        assert cpu.vm_name == "vm1"
+
+    def test_warm_call_hits_caches(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        svc = machine.hypervisor.worlds
+        svc.world_call(cpu, worlds["vm2"].wid)
+        svc.world_call(cpu, worlds["vm1"].wid)
+        misses_before = svc.misses_serviced
+        svc.world_call(cpu, worlds["vm2"].wid)
+        assert svc.misses_serviced == misses_before
+
+    def test_warm_call_is_cheap(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        svc = machine.hypervisor.worlds
+        svc.world_call(cpu, worlds["vm2"].wid)
+        svc.world_call(cpu, worlds["vm1"].wid)
+        before = cpu.perf.cycles
+        svc.world_call(cpu, worlds["vm2"].wid)
+        warm = cpu.perf.cycles - before
+        assert warm == machine.cost_model.world_call_hw.cycles
+
+    def test_unregistered_wid_faults_to_hypervisor(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        with pytest.raises(NoSuchWorld):
+            machine.hypervisor.worlds.world_call(cpu, 424242)
+
+    def test_unregistered_caller_context_faults(self, setup):
+        """A namespace that never registered cannot world_call."""
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        cpu.write_cr3(PageTable("rogue"))   # context not in the table
+        with pytest.raises(NoSuchWorld):
+            machine.hypervisor.worlds.world_call(cpu, worlds["vm2"].wid)
+
+    def test_destroyed_world_not_callable(self, setup):
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        svc = machine.hypervisor.worlds
+        svc.world_call(cpu, worlds["vm2"].wid)     # warm the caches
+        svc.world_call(cpu, worlds["vm1"].wid)
+        svc.destroy_world(worlds["vm2"].wid, machine.cpus)
+        with pytest.raises((NoSuchWorld, WorldNotPresent)):
+            svc.world_call(cpu, worlds["vm2"].wid)
+
+    def test_entry_point_must_be_executable(self, setup):
+        machine, worlds, tables = setup
+        cpu = machine.cpu
+        # Register a world whose PC is not mapped executable.
+        vm2 = machine.hypervisor.vm_by_name("vm2")
+        bad_pt = PageTable("bad")
+        gpa = vm2.map_new_page("data")
+        bad_pt.map(0x5000_0000, gpa, user=False, executable=False)
+        entry = machine.hypervisor.worlds.create_world(
+            vm=vm2, ring=0, page_table=bad_pt, pc=0x5000_0000)
+        with pytest.raises(PageFault):
+            machine.hypervisor.worlds.world_call(cpu, entry.wid)
+
+    def test_user_to_kernel_cross_vm_single_hop(self, setup):
+        """U(vm1) -> K(vm2) is one hop under CrossOver (Table 3)."""
+        machine, worlds, _ = setup
+        cpu = machine.cpu
+        vm1 = machine.hypervisor.vm_by_name("vm1")
+        user_pt = PageTable("vm1-user")
+        code_gpa = vm1.map_new_page("user-code")
+        user_pt.map(0x0040_0000, code_gpa, user=True, executable=True)
+        user_world = machine.hypervisor.worlds.create_world(
+            vm=vm1, ring=3, page_table=user_pt, pc=0x0040_0000)
+        cpu.write_cr3(user_pt)
+        cpu.sysret("enter user world")
+        mark = cpu.trace.mark
+        machine.hypervisor.worlds.world_call(cpu, worlds["vm2"].wid)
+        world_calls = [e for e in cpu.trace.since(mark)
+                       if e.kind == "world_call"]
+        assert len(world_calls) == 1
+        assert cpu.ring == 0 and cpu.vm_name == "vm2"
+
+
+class TestCurrentWidRegister:
+    def test_prefetch_skips_iwt_lookup(self):
+        features = HardwareFeatures(vmfunc=True, crossover=True,
+                                    current_wid_register=True)
+        machine = Machine(features=features)
+        worlds = {}
+        for name in ("vm1", "vm2"):
+            vm = machine.hypervisor.create_vm(name)
+            pt = PageTable(f"{name}-kern")
+            gpa = vm.map_new_page("kernel-text")
+            pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+            worlds[name] = machine.hypervisor.worlds.create_world(
+                vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA)
+        cpu = machine.cpu
+        machine.hypervisor.launch(cpu, machine.hypervisor.vm_by_name("vm1"))
+        cpu.write_cr3(worlds["vm1"].page_table)
+        svc = machine.hypervisor.worlds
+        svc.world_call(cpu, worlds["vm2"].wid)
+        svc.world_call(cpu, worlds["vm1"].wid)
+        # Warm: the IWT cache sees no further lookups because the
+        # current-WID register short-circuits the caller lookup.
+        assert cpu.wt_caches is not None
+        iwt_hits = cpu.wt_caches.iwt.hits
+        svc.world_call(cpu, worlds["vm2"].wid)
+        assert cpu.wt_caches.iwt.hits == iwt_hits

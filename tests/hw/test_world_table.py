@@ -1,0 +1,171 @@
+"""World table and world-table cache tests."""
+
+import pytest
+
+from repro.errors import NoSuchWorld, SimulationError, WorldTableCacheMiss
+from repro.hw.ept import EPT
+from repro.hw.paging import PageTable
+from repro.hw.world_table import (
+    IWTCache,
+    WorldTable,
+    WorldTableCaches,
+    WTCache,
+)
+
+
+def make_entry(table, ring=0, vm_name="vm1", pc=0xC000_0000):
+    return table.create(host_mode=False, ring=ring, ept=EPT(vm_name),
+                        page_table=PageTable(), pc=pc, vm_name=vm_name)
+
+
+class TestWorldTable:
+    def test_wids_monotonic_and_unique(self):
+        table = WorldTable()
+        wids = [make_entry(table).wid for _ in range(5)]
+        assert wids == sorted(wids)
+        assert len(set(wids)) == 5
+
+    def test_wids_never_reused(self):
+        """A stale WID can never alias a new world (unforgeability)."""
+        table = WorldTable()
+        entry = make_entry(table)
+        old_wid = entry.wid
+        table.destroy(old_wid)
+        fresh = make_entry(table)
+        assert fresh.wid != old_wid
+
+    def test_walk_by_wid(self):
+        table = WorldTable()
+        entry = make_entry(table)
+        assert table.walk_by_wid(entry.wid) is entry
+        with pytest.raises(NoSuchWorld):
+            table.walk_by_wid(999)
+
+    def test_walk_by_context(self):
+        table = WorldTable()
+        entry = make_entry(table)
+        assert table.walk_by_context(entry.context_key()) is entry
+        with pytest.raises(NoSuchWorld):
+            table.walk_by_context((False, 0, 0xdead, 0xbeef))
+
+    def test_duplicate_context_rejected(self):
+        """A world is (mode, space): one entry per context."""
+        table = WorldTable()
+        ept = EPT("vm1")
+        pt = PageTable()
+        table.create(host_mode=False, ring=0, ept=ept, page_table=pt,
+                     pc=0x1000)
+        with pytest.raises(SimulationError):
+            table.create(host_mode=False, ring=0, ept=ept, page_table=pt,
+                         pc=0x2000)
+
+    def test_same_space_different_ring_is_distinct(self):
+        table = WorldTable()
+        ept = EPT("vm1")
+        pt = PageTable()
+        a = table.create(host_mode=False, ring=0, ept=ept, page_table=pt,
+                         pc=0x1000)
+        b = table.create(host_mode=False, ring=3, ept=ept, page_table=pt,
+                         pc=0x1000)
+        assert a.wid != b.wid
+
+    def test_invalid_ring_rejected(self):
+        table = WorldTable()
+        with pytest.raises(SimulationError):
+            table.create(host_mode=False, ring=2, ept=EPT(),
+                         page_table=PageTable(), pc=0)
+
+    def test_destroy_unknown(self):
+        table = WorldTable()
+        with pytest.raises(NoSuchWorld):
+            table.destroy(7)
+
+    def test_host_mode_entry_has_no_eptp(self):
+        table = WorldTable()
+        entry = table.create(host_mode=True, ring=0, ept=None,
+                             page_table=PageTable(), pc=0x1000)
+        assert entry.eptp == 0
+        assert entry.context_key()[0] is True
+
+    def test_worlds_owned_by(self):
+        table = WorldTable()
+        vm = object()
+        table.create(host_mode=False, ring=0, ept=EPT(),
+                     page_table=PageTable(), pc=0, owner_vm=vm)
+        table.create(host_mode=False, ring=3, ept=EPT(),
+                     page_table=PageTable(), pc=0, owner_vm=vm)
+        assert table.worlds_owned_by(vm) == 2
+        assert table.worlds_owned_by(object()) == 0
+
+
+class TestCaches:
+    def test_wt_cache_hit_miss_counters(self):
+        cache = WTCache(4)
+        table = WorldTable()
+        entry = make_entry(table)
+        assert cache.lookup(entry.wid) is None
+        cache.fill(entry.wid, entry)
+        assert cache.lookup(entry.wid) is entry
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction(self):
+        cache = WTCache(2)
+        table = WorldTable()
+        e1, e2, e3 = (make_entry(table, vm_name=f"vm{i}") for i in range(3))
+        cache.fill(e1.wid, e1)
+        cache.fill(e2.wid, e2)
+        cache.lookup(e1.wid)          # e1 becomes most-recently-used
+        cache.fill(e3.wid, e3)        # evicts e2
+        assert cache.lookup(e2.wid) is None
+        assert cache.lookup(e1.wid) is e1
+        assert cache.lookup(e3.wid) is e3
+
+    def test_invalidate(self):
+        cache = IWTCache(4)
+        table = WorldTable()
+        entry = make_entry(table)
+        cache.fill(entry.context_key(), entry)
+        assert cache.invalidate(entry.context_key())
+        assert not cache.invalidate(entry.context_key())
+
+    def test_flush(self):
+        cache = WTCache(4)
+        table = WorldTable()
+        entry = make_entry(table)
+        cache.fill(entry.wid, entry)
+        cache.flush()
+        assert len(cache) == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            WTCache(0)
+
+
+class TestWorldTableCaches:
+    def test_miss_raises(self):
+        caches = WorldTableCaches(4)
+        with pytest.raises(WorldTableCacheMiss) as exc:
+            caches.lookup_callee(42)
+        assert exc.value.kind == "wt"
+        with pytest.raises(WorldTableCacheMiss) as exc:
+            caches.lookup_caller((False, 0, 1, 2))
+        assert exc.value.kind == "iwt"
+
+    def test_fill_populates_both(self):
+        caches = WorldTableCaches(4)
+        table = WorldTable()
+        entry = make_entry(table)
+        caches.fill(entry)
+        assert caches.lookup_callee(entry.wid) is entry
+        assert caches.lookup_caller(entry.context_key()) is entry
+
+    def test_invalidate_both(self):
+        caches = WorldTableCaches(4)
+        table = WorldTable()
+        entry = make_entry(table)
+        caches.fill(entry)
+        caches.invalidate(entry)
+        with pytest.raises(WorldTableCacheMiss):
+            caches.lookup_callee(entry.wid)
+        with pytest.raises(WorldTableCacheMiss):
+            caches.lookup_caller(entry.context_key())

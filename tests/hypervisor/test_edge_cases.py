@@ -1,0 +1,86 @@
+"""Edge cases: watchdog plumbing, world restore, hypercall table."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.cpu import Mode
+from repro.hw.paging import PageTable
+from repro.hypervisor.hypercalls import HypercallTable
+from repro.machine import Machine
+
+
+class TestWatchdogPlumbing:
+    def test_fire_without_armed_watchdog_rejected(self):
+        machine = Machine()
+        with pytest.raises(SimulationError):
+            machine.hypervisor.fire_world_call_timeout(machine.cpu)
+
+    def test_restore_world_reloads_full_context(self):
+        machine = Machine(features=FEATURES_CROSSOVER)
+        vm = machine.hypervisor.create_vm("vm1")
+        pt = PageTable("vm1-kern")
+        gpa = vm.map_new_page("code")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entry = machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA)
+        machine.hypervisor.restore_world(machine.cpu, entry)
+        cpu = machine.cpu
+        assert cpu.mode is Mode.NON_ROOT
+        assert cpu.vm_name == "vm1"
+        assert cpu.cr3 == pt.root
+        assert cpu.regs.read("rip") == KERNEL_TEXT_GVA
+
+    def test_timeout_fires_once(self):
+        machine = Machine(features=FEATURES_CROSSOVER)
+        vm = machine.hypervisor.create_vm("vm1")
+        pt = PageTable("vm1-kern")
+        gpa = vm.map_new_page("code")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entry = machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA)
+        machine.hypervisor.armed_timeouts[machine.cpu.cpu_id] = (entry, 1)
+        machine.hypervisor.fire_world_call_timeout(machine.cpu)
+        with pytest.raises(SimulationError):
+            machine.hypervisor.fire_world_call_timeout(machine.cpu)
+
+
+class TestHypercallTable:
+    def test_register_and_dispatch(self):
+        table = HypercallTable()
+        table.register(0x42, lambda a, b: a + b)
+        assert 0x42 in table
+        assert table.dispatch(0x42, 1, 2) == 3
+
+    def test_unknown_number(self):
+        from repro.errors import GuestOSError
+
+        table = HypercallTable()
+        with pytest.raises(GuestOSError):
+            table.dispatch(0x99)
+
+    def test_handler_replacement(self):
+        table = HypercallTable()
+        table.register(1, lambda: "old")
+        table.register(1, lambda: "new")
+        assert table.dispatch(1) == "new"
+
+
+class TestCommonGPAAllocation:
+    def test_common_gpas_monotone_nonoverlapping(self):
+        machine = Machine()
+        a = machine.hypervisor.alloc_common_gpa(4)
+        b = machine.hypervisor.alloc_common_gpa(1)
+        c = machine.hypervisor.alloc_common_gpa(2)
+        assert b >= a + 4 * 4096
+        assert c >= b + 4096
+
+    def test_common_gpa_above_private_range(self):
+        from repro.hypervisor.vm import COMMON_GPA_BASE
+
+        machine = Machine()
+        vm = machine.hypervisor.create_vm("a")
+        private = vm.map_new_page()
+        common = machine.hypervisor.alloc_common_gpa(1)
+        assert private < COMMON_GPA_BASE <= common

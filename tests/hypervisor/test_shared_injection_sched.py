@@ -1,0 +1,125 @@
+"""Shared memory, interrupt injection and host scheduler tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.hw.cpu import Mode
+from repro.hw.mem import PAGE_SIZE
+from repro.hw.paging import PageTable
+from repro.hypervisor.shared_memory import SharedMemoryRegion
+
+
+class TestSharedMemory:
+    def test_region_mapped_same_gpa_in_both(self, machine):
+        a = machine.hypervisor.create_vm("a")
+        b = machine.hypervisor.create_vm("b")
+        region = machine.hypervisor.create_shared_region([a, b], 2, "t")
+        assert a.ept.translate(region.gpa) == b.ept.translate(region.gpa)
+        assert region.size == 2 * PAGE_SIZE
+
+    def test_host_write_guest_visible(self, machine):
+        a = machine.hypervisor.create_vm("a")
+        region = machine.hypervisor.create_shared_region([a], 1)
+        region.write(10, b"payload")
+        hpa = a.ept.translate(region.gpa)
+        assert machine.memory.read(hpa + 10, 7) == b"payload"
+
+    def test_read_write_cross_page(self, machine):
+        a = machine.hypervisor.create_vm("a")
+        region = machine.hypervisor.create_shared_region([a], 2)
+        data = bytes(range(100)) * 20   # 2000 bytes, spans the boundary
+        region.write(PAGE_SIZE - 100, data)
+        assert region.read(PAGE_SIZE - 100, len(data)) == data
+
+    def test_bounds_checked(self, machine):
+        a = machine.hypervisor.create_vm("a")
+        region = machine.hypervisor.create_shared_region([a], 1)
+        with pytest.raises(SimulationError):
+            region.write(PAGE_SIZE - 1, b"ab")
+        with pytest.raises(SimulationError):
+            region.read(0, PAGE_SIZE + 1)
+
+    def test_map_into_page_table(self, machine):
+        a = machine.hypervisor.create_vm("a")
+        region = machine.hypervisor.create_shared_region([a], 1)
+        pt = PageTable()
+        region.map_into_page_table(pt, 0x6000_0000)
+        assert pt.translate(0x6000_0000) == region.gpa
+
+    def test_common_gpas_do_not_collide(self, machine):
+        a = machine.hypervisor.create_vm("a")
+        r1 = machine.hypervisor.create_shared_region([a], 4)
+        r2 = machine.hypervisor.create_shared_region([a], 1)
+        assert r2.gpa >= r1.gpa + 4 * PAGE_SIZE
+
+
+class TestInjection:
+    def test_inject_requires_root(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        machine.hypervisor.launch(machine.cpu, vm)
+        with pytest.raises(Exception):
+            machine.hypervisor.injector.inject(machine.cpu, vm, 0x20)
+
+    def test_inject_then_delivered_on_entry(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        machine.hypervisor.injector.inject(machine.cpu, vm, 0x20, "timer")
+        snap = machine.cpu.perf.snapshot()
+        machine.hypervisor.launch(machine.cpu, vm)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("irq_deliver") == 1
+        assert not vm.pending_virqs
+
+    def test_handler_invoked(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        fired = []
+        machine.hypervisor.launch(machine.cpu, vm)
+        from repro.hw.idt import IDT
+
+        idt = IDT("g")
+        idt.set_vector(0x33, lambda v: fired.append(v))
+        machine.cpu.install_idt(idt)
+        machine.hypervisor.exit_to_host(machine.cpu, "hlt")
+        machine.hypervisor.injector.inject(machine.cpu, vm, 0x33)
+        machine.hypervisor.launch(machine.cpu, vm)
+        assert fired == [0x33]
+
+    def test_delivery_returns_to_interrupted_ring(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        machine.hypervisor.launch(machine.cpu, vm)
+        machine.cpu.ring = 3                      # guest user running
+        machine.hypervisor.exit_to_host(machine.cpu, "hlt")
+        machine.hypervisor.injector.inject(machine.cpu, vm, 0x20)
+        machine.hypervisor.launch(machine.cpu, vm)
+        assert machine.cpu.ring == 3
+
+
+class TestHostScheduler:
+    def test_schedule_charges(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        snap = machine.cpu.perf.snapshot()
+        machine.hypervisor.scheduler.schedule(machine.cpu, vm)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("vm_schedule") == 1
+        assert delta.count("sched_queueing") == 0
+
+    def test_load_adds_queueing(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        sched = machine.hypervisor.scheduler
+        sched.set_load(vm, 2)
+        snap = machine.cpu.perf.snapshot()
+        sched.schedule(machine.cpu, vm)
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("sched_queueing") == 1
+        assert delta.cycles >= 2 * sched.queue_slice_cycles
+
+    def test_negative_load_rejected(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        with pytest.raises(ValueError):
+            machine.hypervisor.scheduler.set_load(vm, -1)
+
+    def test_load_of(self, machine):
+        vm = machine.hypervisor.create_vm("a")
+        sched = machine.hypervisor.scheduler
+        assert sched.load_of(vm) == 0
+        sched.set_load(vm, 3)
+        assert sched.load_of(vm) == 3

@@ -1,0 +1,101 @@
+"""World-registration service tests: quotas, destroy, miss servicing."""
+
+import pytest
+
+from repro.errors import NoSuchWorld, WorldQuotaExceeded, WorldTableCacheMiss
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.paging import PageTable
+from repro.hypervisor.worlds import WorldService
+from repro.machine import Machine
+
+
+@pytest.fixture
+def setup():
+    machine = Machine(features=FEATURES_CROSSOVER)
+    vm = machine.hypervisor.create_vm("vm1")
+    return machine, vm
+
+
+class TestQuota:
+    def test_quota_enforced(self, setup):
+        machine, vm = setup
+        service = WorldService(machine.world_table, quota=3)
+        for i in range(3):
+            service.create_world(vm=vm, ring=0,
+                                 page_table=PageTable(f"pt{i}"), pc=0x1000)
+        with pytest.raises(WorldQuotaExceeded):
+            service.create_world(vm=vm, ring=0,
+                                 page_table=PageTable("pt3"), pc=0x1000)
+
+    def test_quota_is_per_vm(self, setup):
+        machine, vm = setup
+        other = machine.hypervisor.create_vm("vm2")
+        service = WorldService(machine.world_table, quota=1)
+        service.create_world(vm=vm, ring=0, page_table=PageTable("a"),
+                             pc=0x1000)
+        # The second VM still has headroom.
+        service.create_world(vm=other, ring=0, page_table=PageTable("b"),
+                             pc=0x1000)
+
+    def test_destroy_frees_quota(self, setup):
+        machine, vm = setup
+        service = WorldService(machine.world_table, quota=1)
+        entry = service.create_world(vm=vm, ring=0,
+                                     page_table=PageTable("a"), pc=0x1000)
+        service.destroy_world(entry.wid, machine.cpus)
+        service.create_world(vm=vm, ring=0, page_table=PageTable("b"),
+                             pc=0x1000)
+
+    def test_host_worlds_not_counted(self, setup):
+        machine, vm = setup
+        service = WorldService(machine.world_table, quota=1)
+        service.create_world(vm=None, ring=0, page_table=PageTable("h"),
+                             pc=0x1000)
+        service.create_world(vm=vm, ring=0, page_table=PageTable("g"),
+                             pc=0x1000)
+
+
+class TestMissServicing:
+    def test_service_fills_caches(self, setup):
+        machine, vm = setup
+        service = machine.hypervisor.worlds
+        entry = service.create_world(vm=vm, ring=0,
+                                     page_table=PageTable("a"), pc=0x1000)
+        cpu = machine.cpu
+        miss = WorldTableCacheMiss("wt", entry.wid)
+        service.service_miss(cpu, miss)
+        assert cpu.wt_caches is not None
+        assert cpu.wt_caches.lookup_callee(entry.wid) is entry
+
+    def test_service_unknown_wid_raises(self, setup):
+        machine, vm = setup
+        service = machine.hypervisor.worlds
+        with pytest.raises(NoSuchWorld):
+            service.service_miss(machine.cpu,
+                                 WorldTableCacheMiss("wt", 999))
+
+    def test_service_charges_walk_and_fill(self, setup):
+        machine, vm = setup
+        service = machine.hypervisor.worlds
+        entry = service.create_world(vm=vm, ring=0,
+                                     page_table=PageTable("a"), pc=0x1000)
+        snap = machine.cpu.perf.snapshot()
+        service.service_miss(machine.cpu,
+                             WorldTableCacheMiss("wt", entry.wid))
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("wt_walk") == 1
+        assert delta.count("manage_wtc") == 1
+
+    def test_destroy_invalidates_all_cpus(self, setup):
+        machine, vm = setup
+        service = machine.hypervisor.worlds
+        entry = service.create_world(vm=vm, ring=0,
+                                     page_table=PageTable("a"), pc=0x1000)
+        for cpu in machine.cpus:
+            assert cpu.wt_caches is not None
+            cpu.wt_caches.fill(entry)
+        service.destroy_world(entry.wid, machine.cpus)
+        for cpu in machine.cpus:
+            with pytest.raises(WorldTableCacheMiss):
+                cpu.wt_caches.lookup_callee(entry.wid)
+        assert not entry.present

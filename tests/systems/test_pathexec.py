@@ -1,0 +1,112 @@
+"""Path interpreter tests."""
+
+import pytest
+
+from repro.machine import Machine
+from repro.systems.pathexec import (
+    classify_hop,
+    execute_path,
+    hop_cost,
+    measure_system,
+)
+from repro.systems.pathmodels import TABLE1_SYSTEMS
+
+
+class TestClassification:
+    @pytest.mark.parametrize("frm,to,expected", [
+        ("U(vm1)", "K(vm1)", "syscall"),
+        ("K(vm1)", "U(vm1)", "sysret"),
+        ("U(vm1)", "K(hyp)", "vmexit"),
+        ("K(vm)", "K(host)", "vmexit"),
+        ("K(vm)", "K(cloudvisor)", "vmexit"),
+        ("K(hyp)", "U(vm2)", "vmentry"),
+        ("K(cloudvisor)", "K(hyp-vm)", "vmentry"),
+        ("K(hyp-vm)", "K(cloudvisor)", "vmexit"),
+        ("U(app)", "K(os)", "syscall"),
+        ("K(os)", "U(fuse)", "sysret_switch"),
+        ("K(host)", "U(host)", "host_ring"),
+        ("U(app)", "U(fuse)", "process_switch"),
+        ("U(vm)", "U(shim-cloaked)", "process_switch"),
+        ("K(ring1@vm)", "K(ring0@vm)", "nested_exit"),
+        ("K(netfront@vm)", "K(hyp)", "vmexit"),
+        ("K(hyp)", "K(netback@dom0)", "vmentry"),
+    ])
+    def test_hop_kinds(self, frm, to, expected):
+        assert classify_hop(frm, to) == expected
+
+    def test_every_table1_hop_classifies(self):
+        for system in TABLE1_SYSTEMS:
+            for frm, to in zip(system.actual, system.actual[1:]):
+                kind = classify_hop(frm, to)
+                assert kind in ("syscall", "sysret", "sysret_switch",
+                                "vmexit", "vmentry", "host_ring",
+                                "nested_exit",
+                                "process_switch"), (system.name, frm, to)
+
+    def test_unknown_hop_cost_rejected(self):
+        from repro.hw.costs import CostModel
+
+        with pytest.raises(ValueError):
+            hop_cost("teleport", CostModel())
+
+
+class TestExecution:
+    def test_charges_accumulate(self):
+        machine = Machine()
+        cycles, kinds = execute_path(
+            machine.cpu, ("U(vm1)", "K(vm1)", "K(hyp)", "K(vm1)", "U(vm1)"))
+        assert cycles > 0
+        assert kinds == ["syscall", "vmexit", "vmentry", "sysret"]
+
+    def test_crossover_mode_single_hops(self):
+        machine = Machine()
+        cycles, kinds = execute_path(
+            machine.cpu, ("U(vm1)", "K(vm2)", "U(vm1)"), crossover=True)
+        assert kinds == ["world_call", "world_call"]
+
+    def test_trace_records_hops(self):
+        machine = Machine()
+        mark = machine.cpu.trace.mark
+        execute_path(machine.cpu, ("U(a)", "K(a)"))
+        assert len(machine.cpu.trace.since(mark)) == 1
+
+
+class TestTable1Measured:
+    def test_every_system_speedup_positive(self):
+        machine = Machine()
+        for system in TABLE1_SYSTEMS:
+            result = measure_system(machine.cpu, system)
+            assert result["speedup"] > 1.5, system.name
+
+    def test_nested_systems_are_most_expensive(self):
+        """CloudVisor and Xen-Blanket pay nested-virtualization taxes:
+        their measured paths should top the survey."""
+        machine = Machine()
+        results = {s.name: measure_system(machine.cpu, s)["actual_cycles"]
+                   for s in TABLE1_SYSTEMS}
+        costly = sorted(results, key=results.get, reverse=True)[:3]
+        assert "Xen-Blanket" in costly
+        assert "CloudVisor" in costly
+
+    def test_fuse_cheaper_than_cross_vm_systems(self):
+        """FUSE never leaves the VM: cheaper than every system that
+        bounces through the hypervisor with scheduling involved."""
+        machine = Machine()
+        results = {s.name: measure_system(machine.cpu, s)["actual_cycles"]
+                   for s in TABLE1_SYSTEMS}
+        assert results["FUSE"] < results["ShadowContext"]
+        assert results["FUSE"] < results["CloudVisor"]
+        assert results["FUSE"] < results["Xen-Blanket"]
+
+    def test_more_crossings_cost_more_within_a_family(self):
+        """Within comparable designs, more crossings mean more cycles:
+        Overshadow (9) > Proxos (6); ShadowContext (8) > HyperShell
+        (6); Xen-Blanket (12) > Xen emulated devices (6) > ClickOS
+        (4)."""
+        machine = Machine()
+        results = {s.name: measure_system(machine.cpu, s)["actual_cycles"]
+                   for s in TABLE1_SYSTEMS}
+        assert results["Overshadow"] > results["Proxos"]
+        assert results["ShadowContext"] > results["HyperShell"]
+        assert results["Xen-Blanket"] > results["Xen emulated devices"] \
+            > results["ClickOS"]

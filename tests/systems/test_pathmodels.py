@@ -1,0 +1,47 @@
+"""Table-1 path model tests."""
+
+import pytest
+
+from repro.systems.pathmodels import TABLE1_SYSTEMS, verify_against_paper
+
+
+class TestPathModels:
+    def test_eleven_systems(self):
+        assert len(TABLE1_SYSTEMS) == 11
+
+    def test_all_ratios_match_paper(self):
+        for name, computed, paper in verify_against_paper():
+            assert computed == paper, f"{name}: {computed} != {paper}"
+
+    def test_minimal_paths_are_two_crossings(self):
+        """'The theoretically minimal cross-world calls are two, for
+        each case' (Figure 2 caption)."""
+        for system in TABLE1_SYSTEMS:
+            assert system.minimal_crossings == 2, system.name
+
+    def test_actual_never_below_minimal(self):
+        for system in TABLE1_SYSTEMS:
+            assert system.actual_crossings >= system.minimal_crossings
+
+    def test_paths_are_round_trips(self):
+        for system in TABLE1_SYSTEMS:
+            assert system.actual[0] == system.actual[-1], system.name
+            assert system.minimal[0] == system.minimal[-1], system.name
+
+    def test_categories(self):
+        categories = {s.category for s in TABLE1_SYSTEMS}
+        assert categories == {"Security", "Decoupling", "VMI"}
+
+    def test_xen_blanket_is_worst(self):
+        worst = max(TABLE1_SYSTEMS, key=lambda s: s.times)
+        assert worst.name == "Xen-Blanket"
+        assert worst.times_label == "6X"
+
+    def test_overshadow_fractional_ratio(self):
+        overshadow = next(s for s in TABLE1_SYSTEMS
+                          if s.name == "Overshadow")
+        assert overshadow.times_label == "4.5X"
+
+    def test_semantics_values(self):
+        assert {s.semantic for s in TABLE1_SYSTEMS} == {
+            "syscall", "IPC call", "I/O op"}

@@ -1,0 +1,149 @@
+"""Multi-core machine tests: per-core caches, independent contexts."""
+
+import pytest
+
+from repro.core.alternatives import AsyncMessageCall, IPIBoundCall
+from repro.errors import SimulationError, WorldTableCacheMiss
+from repro.guestos import boot_kernel
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.hw.cpu import Mode
+from repro.hw.paging import PageTable
+from repro.machine import Machine
+
+
+@pytest.fixture
+def smp_machine():
+    return Machine(features=FEATURES_CROSSOVER, cpus=4)
+
+
+class TestMachineTopology:
+    def test_cpu_count(self, smp_machine):
+        assert len(smp_machine.cpus) == 4
+        assert smp_machine.cpu is smp_machine.cpus[0]
+        assert [c.cpu_id for c in smp_machine.cpus] == [0, 1, 2, 3]
+
+    def test_zero_cpus_rejected(self):
+        with pytest.raises(SimulationError):
+            Machine(cpus=0)
+
+    def test_cores_share_host_page_table(self, smp_machine):
+        roots = {c.page_table.root for c in smp_machine.cpus}
+        assert len(roots) == 1
+
+    def test_per_core_counters_independent(self, smp_machine):
+        smp_machine.cpus[1].work(500, 10)
+        assert smp_machine.cpus[0].perf.cycles == 0
+        assert smp_machine.cpus[1].perf.cycles == 500
+
+    def test_reset_counters_covers_all_cores(self, smp_machine):
+        for cpu in smp_machine.cpus:
+            cpu.work(100, 1)
+        smp_machine.reset_counters()
+        assert all(c.perf.cycles == 0 for c in smp_machine.cpus)
+
+
+class TestPerCoreWorldCaches:
+    @pytest.fixture
+    def worlds(self, smp_machine):
+        entries = []
+        for name in ("vm1", "vm2"):
+            vm = smp_machine.hypervisor.create_vm(name)
+            pt = PageTable(f"{name}-kern")
+            gpa = vm.map_new_page("kernel-text")
+            pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+            entries.append(smp_machine.hypervisor.worlds.create_world(
+                vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA))
+        return entries
+
+    def _enter(self, machine, cpu, vm_name, pt):
+        machine.hypervisor.launch(cpu, machine.hypervisor.vm_by_name(
+            vm_name)) if cpu.mode is Mode.ROOT else None
+        cpu.write_cr3(pt)
+
+    def test_each_core_misses_independently(self, smp_machine, worlds):
+        svc = smp_machine.hypervisor.worlds
+        vm1 = smp_machine.hypervisor.vm_by_name("vm1")
+        for cpu in smp_machine.cpus[:2]:
+            cpu.vmentry(vm1.vmcs.__class__(
+                "vm1", vm1.ept, vm1.eptp_list))  # per-core VMCS
+            cpu.page_table = worlds[0].page_table
+            cpu.vm_name = "vm1"
+        misses0 = svc.misses_serviced
+        svc.world_call(smp_machine.cpus[0], worlds[1].wid)
+        after_core0 = svc.misses_serviced
+        assert after_core0 > misses0
+        # Core 1's caches are still cold: it misses again on its own.
+        svc.world_call(smp_machine.cpus[1], worlds[1].wid)
+        assert svc.misses_serviced > after_core0
+
+    def test_destroy_invalidates_every_core(self, smp_machine, worlds):
+        for cpu in smp_machine.cpus:
+            assert cpu.wt_caches is not None
+            cpu.wt_caches.fill(worlds[1])
+        smp_machine.hypervisor.worlds.destroy_world(worlds[1].wid,
+                                                    smp_machine.cpus)
+        for cpu in smp_machine.cpus:
+            with pytest.raises(WorldTableCacheMiss):
+                cpu.wt_caches.lookup_callee(worlds[1].wid)
+
+
+class TestKernelCPUPinning:
+    def test_kernels_on_distinct_cores(self):
+        machine = Machine(cpus=2)
+        vm1 = machine.hypervisor.create_vm("vm1")
+        vm2 = machine.hypervisor.create_vm("vm2")
+        k1 = boot_kernel(machine, vm1, machine.cpus[0])
+        k2 = boot_kernel(machine, vm2, machine.cpus[1])
+        machine.hypervisor.launch(machine.cpus[0], vm1)
+        machine.hypervisor.launch(machine.cpus[1], vm2)
+        a = k1.spawn("a")
+        b = k2.spawn("b")
+        k1.enter_user(a)
+        k2.enter_user(b)
+        assert a.syscall("uname")["nodename"] == "vm1"
+        assert b.syscall("uname")["nodename"] == "vm2"
+        # Both guests genuinely ran concurrently on their own cores.
+        assert machine.cpus[0].vm_name == "vm1"
+        assert machine.cpus[1].vm_name == "vm2"
+
+    def test_wrong_core_rejected(self):
+        machine = Machine(cpus=2)
+        vm1 = machine.hypervisor.create_vm("vm1")
+        k1 = boot_kernel(machine, vm1, machine.cpus[1])
+        machine.hypervisor.launch(machine.cpus[0], vm1)
+        proc = k1.spawn("p")
+        with pytest.raises(SimulationError):
+            k1.enter_user(proc)    # kernel pinned to cpu1, vm on cpu0
+
+
+class TestDesignAlternatives:
+    def test_async_call_returns_value(self):
+        machine = Machine(cpus=2)
+        vm = machine.hypervisor.create_vm("vm1")
+        machine.hypervisor.launch(machine.cpu, vm)
+        mech = AsyncMessageCall(machine, handler=lambda p: p * 2)
+        result = mech.call(machine.cpu, 21)
+        assert result.value == 42
+        assert result.cycles > 0
+
+    def test_async_load_increases_cycles(self):
+        machine = Machine(cpus=2)
+        vm = machine.hypervisor.create_vm("vm1")
+        machine.hypervisor.launch(machine.cpu, vm)
+        idle = AsyncMessageCall(machine, handler=lambda p: p)
+        busy = AsyncMessageCall(machine, handler=lambda p: p,
+                                callee_load=3)
+        assert busy.call(machine.cpu, 0).cycles > \
+            idle.call(machine.cpu, 0).cycles
+
+    def test_ipi_call_pays_hypercall_from_guest(self):
+        machine = Machine(cpus=2)
+        vm = machine.hypervisor.create_vm("vm1")
+        machine.hypervisor.launch(machine.cpu, vm)
+        mech = IPIBoundCall(machine, handler=lambda p: p)
+        snap = machine.cpu.perf.snapshot()
+        mech.call(machine.cpu, "x")
+        delta = snap.delta(machine.cpu.perf.snapshot())
+        assert delta.count("vmexit") == 1
+        assert delta.count("ipi") == 2

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import convention
+from repro.errors import GuestOSError, PageFault
+from repro.guestos.fd import FDTable, MAX_FDS, OpenFile
+from repro.guestos.fs.inode import Inode, InodeType
+from repro.guestos.pipe import Pipe, WouldBlock
+from repro.hw.costs import Cost
+from repro.hw.ept import EPT
+from repro.hw.mem import PAGE_SIZE
+from repro.hw.paging import PageTable
+from repro.hw.perf import PerfCounters
+from repro.hw.world_table import WorldTable, WorldTableCaches
+
+# ---------------------------------------------------------------------------
+# marshaling convention
+# ---------------------------------------------------------------------------
+
+_wire_values = st.recursive(
+    st.none() | st.booleans() | st.integers() |
+    st.text(string.printable, max_size=40) |
+    st.binary(max_size=60),
+    lambda children: st.lists(children, max_size=4).map(tuple)
+    | st.lists(children, max_size=4)
+    | st.dictionaries(st.text(string.ascii_letters, min_size=1, max_size=8),
+                      children, max_size=4),
+    max_leaves=12)
+
+
+class TestConventionProperties:
+    @given(_wire_values)
+    @settings(max_examples=150)
+    def test_encode_decode_roundtrip(self, value):
+        assert convention.decode(convention.encode(value)) == value
+
+    @given(st.integers(min_value=0, max_value=200))
+    def test_errno_roundtrip(self, errno):
+        decoded = convention.decode(
+            convention.encode(GuestOSError(errno, "m")))
+        assert isinstance(decoded, GuestOSError)
+        assert decoded.errno == errno
+
+
+# ---------------------------------------------------------------------------
+# paging: translation correctness under random mapping sequences
+# ---------------------------------------------------------------------------
+
+class TestPagingProperties:
+    @given(st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=500),
+        min_size=1, max_size=40),
+        st.integers(min_value=0, max_value=PAGE_SIZE - 1))
+    def test_translation_matches_mapping(self, mapping, offset):
+        pt = PageTable()
+        for vpn, gfn in mapping.items():
+            pt.map(vpn * PAGE_SIZE, gfn * PAGE_SIZE)
+        for vpn, gfn in mapping.items():
+            gva = vpn * PAGE_SIZE + offset
+            assert pt.translate(gva) == gfn * PAGE_SIZE + offset
+        # Unmapped neighbours fault.
+        unmapped_vpn = max(mapping) + 1
+        with pytest.raises(PageFault):
+            pt.translate(unmapped_vpn * PAGE_SIZE)
+
+    @given(st.sets(st.integers(min_value=0, max_value=100), min_size=2,
+                   max_size=20))
+    def test_unmap_exactly_removes(self, vpns):
+        pt = PageTable()
+        for vpn in vpns:
+            pt.map(vpn * PAGE_SIZE, vpn * PAGE_SIZE)
+        victims = sorted(vpns)[:len(vpns) // 2]
+        for vpn in victims:
+            pt.unmap(vpn * PAGE_SIZE)
+        for vpn in vpns:
+            if vpn in victims:
+                with pytest.raises(PageFault):
+                    pt.translate(vpn * PAGE_SIZE)
+            else:
+                pt.translate(vpn * PAGE_SIZE)
+
+
+# ---------------------------------------------------------------------------
+# world table: WID uniqueness + cache consistency under churn
+# ---------------------------------------------------------------------------
+
+class TestWorldTableProperties:
+    @given(st.lists(st.sampled_from(["create", "destroy", "lookup"]),
+                    min_size=1, max_size=60))
+    @settings(suppress_health_check=[HealthCheck.too_slow])
+    def test_wid_uniqueness_under_churn(self, ops):
+        table = WorldTable()
+        caches = WorldTableCaches(4)
+        live = []
+        ever_issued = set()
+        for op in ops:
+            if op == "create" or not live:
+                entry = table.create(host_mode=False, ring=0, ept=EPT(),
+                                     page_table=PageTable(), pc=0)
+                assert entry.wid not in ever_issued
+                ever_issued.add(entry.wid)
+                caches.fill(entry)
+                live.append(entry)
+            elif op == "destroy":
+                entry = live.pop()
+                table.destroy(entry.wid)
+                caches.invalidate(entry)
+            else:
+                entry = live[-1]
+                assert caches.wt.lookup(entry.wid) in (entry, None)
+                assert table.walk_by_wid(entry.wid) is entry
+        # Cache contents never contradict the table.
+        for entry in live:
+            cached = caches.wt.lookup(entry.wid)
+            if cached is not None:
+                assert cached is table.walk_by_wid(entry.wid)
+
+
+# ---------------------------------------------------------------------------
+# fd table: Unix lowest-free semantics
+# ---------------------------------------------------------------------------
+
+class TestFDTableProperties:
+    @given(st.lists(st.sampled_from(["open", "close_low", "close_high"]),
+                    min_size=1, max_size=50))
+    def test_lowest_free_slot_invariant(self, ops):
+        table = FDTable()
+        open_fds = set()
+        for op in ops:
+            if op == "open" and len(open_fds) < MAX_FDS:
+                fd = table.install(OpenFile())
+                expected = min(set(range(MAX_FDS)) - open_fds)
+                assert fd == expected
+                open_fds.add(fd)
+            elif open_fds:
+                fd = min(open_fds) if op == "close_low" else max(open_fds)
+                table.close(fd)
+                open_fds.remove(fd)
+        assert set(table.open_fds()) == open_fds
+
+
+# ---------------------------------------------------------------------------
+# pipes: conservation of bytes
+# ---------------------------------------------------------------------------
+
+class TestPipeProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=300), max_size=30),
+           st.integers(min_value=1, max_value=600))
+    def test_fifo_byte_conservation(self, chunks, read_size):
+        pipe = Pipe(capacity=1 << 16)
+        written = b""
+        for chunk in chunks:
+            written += chunk[:pipe.free_space]
+            try:
+                pipe.write(chunk)
+            except WouldBlock:
+                break
+        pipe.close_write()
+        read = b""
+        while True:
+            data = pipe.read(read_size)
+            if not data:
+                break
+            read += data
+        assert read == written
+
+
+# ---------------------------------------------------------------------------
+# perf counters: charges are additive and non-negative
+# ---------------------------------------------------------------------------
+
+class TestPerfProperties:
+    @given(st.lists(st.tuples(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=10_000)), max_size=40))
+    def test_additivity(self, charges):
+        perf = PerfCounters()
+        snap = perf.snapshot()
+        for kind, insns, cycles in charges:
+            perf.charge(kind, Cost(insns, cycles))
+        delta = snap.delta(perf.snapshot())
+        assert delta.cycles == sum(c for _, _, c in charges)
+        assert delta.instructions == sum(i for _, i, _ in charges)
+        assert sum(delta.events.values()) == len(charges)
+
+
+# ---------------------------------------------------------------------------
+# guest file I/O: write/read coherence through the syscall surface
+# ---------------------------------------------------------------------------
+
+class TestFileIOProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=120), min_size=1,
+                    max_size=8))
+    @settings(max_examples=20,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_write_then_read_back(self, chunks):
+        from repro.testbed import build_single_vm_machine, enter_vm_kernel
+
+        machine, vm, kernel = build_single_vm_machine()
+        proc = kernel.spawn("io")
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(proc)
+        fd = proc.syscall("open", "/tmp/blob", "rw", create=True,
+                          trunc=True)
+        for chunk in chunks:
+            proc.syscall("write", fd, chunk)
+        proc.syscall("lseek", fd, 0, "set")
+        expected = b"".join(chunks)
+        assert proc.syscall("read", fd, len(expected) + 10) == expected
+        assert proc.syscall("fstat", fd).size == len(expected)

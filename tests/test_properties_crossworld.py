@@ -1,0 +1,145 @@
+"""Property-based tests over the cross-world mechanisms themselves."""
+
+import string
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.crossvm import CrossVMSyscallMechanism
+from repro.core.world import WorldRegistry
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+_payloads = st.recursive(
+    st.none() | st.booleans() | st.integers(-2**31, 2**31)
+    | st.text(string.ascii_letters + string.digits, max_size=24)
+    | st.binary(max_size=48),
+    lambda children: st.lists(children, max_size=3).map(tuple),
+    max_leaves=6)
+
+
+@pytest.fixture(scope="module")
+def echo_world():
+    """A persistent two-VM CrossOver machine with an echo callee."""
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+        features=FEATURES_CROSSOVER)
+    registry = WorldRegistry(machine)
+    runtime = WorldCallRuntime(machine, registry)
+
+    def entry(request: CallRequest):
+        return request.payload
+
+    enter_vm_kernel(machine, vm1)
+    caller = registry.create_kernel_world(k1)
+    enter_vm_kernel(machine, vm2)
+    callee = registry.create_kernel_world(k2, handler=entry)
+    enter_vm_kernel(machine, vm1)
+    runtime.setup_channel(caller, callee, pages=8)
+    machine.cpu.write_cr3(k1.master_page_table)
+    return machine, runtime, caller, callee
+
+
+class TestWorldCallProperties:
+    @given(_payloads)
+    @settings(max_examples=60,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_any_payload_echoes_intact(self, echo_world, payload):
+        machine, runtime, caller, callee = echo_world
+        assert runtime.call(caller, callee.wid, payload) == payload
+
+    @given(_payloads)
+    @settings(max_examples=40,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_caller_context_always_restored(self, echo_world, payload):
+        machine, runtime, caller, callee = echo_world
+        runtime.call(caller, callee.wid, payload)
+        assert caller.matches_cpu(machine.cpu)
+        assert caller.call_stack == []
+
+    @given(st.binary(min_size=0, max_size=8000))
+    @settings(max_examples=30,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_bulk_payload_sizes(self, echo_world, blob):
+        """Payloads straddling the register/channel boundary and up to
+        multi-page sizes all round-trip."""
+        machine, runtime, caller, callee = echo_world
+        assert runtime.call(caller, callee.wid, blob) == blob
+
+
+@pytest.fixture(scope="module")
+def crossvm_pair():
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    mech = CrossVMSyscallMechanism(machine)
+    enter_vm_kernel(machine, vm1)
+    mech.setup_pair(vm1, vm2)
+    enter_vm_kernel(machine, vm1)
+    return machine, vm1, k1, vm2, k2, mech
+
+
+class TestCrossVMProperties:
+    @given(st.binary(min_size=1, max_size=2000),
+           st.text(string.ascii_lowercase, min_size=1, max_size=12))
+    @settings(max_examples=25,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_remote_file_write_read_coherent(self, crossvm_pair, data,
+                                             name):
+        machine, vm1, k1, vm2, k2, mech = crossvm_pair
+        enter_vm_kernel(machine, vm1)
+        path = f"/tmp/prop-{name}"
+        fd = mech.call(vm1, vm2, "open", path, "rw", create=True,
+                       trunc=True)
+        assert mech.call(vm1, vm2, "write", fd, data) == len(data)
+        mech.call(vm1, vm2, "lseek", fd, 0, "set")
+        assert mech.call(vm1, vm2, "read", fd, len(data) + 1) == data
+        mech.call(vm1, vm2, "close", fd)
+
+    @given(st.integers(min_value=1, max_value=20))
+    @settings(max_examples=10,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_call_cost_is_payload_size_monotone(self, crossvm_pair, kib):
+        """Bigger payloads never cost fewer cycles."""
+        machine, vm1, k1, vm2, k2, mech = crossvm_pair
+        enter_vm_kernel(machine, vm1)
+        fd = mech.call(vm1, vm2, "open", "/tmp/mono", "w", create=True)
+
+        def cost(nbytes):
+            snap = machine.cpu.perf.snapshot()
+            mech.call(vm1, vm2, "write", fd, b"x" * nbytes)
+            return snap.delta(machine.cpu.perf.snapshot()).cycles
+
+        small = cost(16)
+        large = cost(16 + kib * 1024)
+        mech.call(vm1, vm2, "close", fd)
+        assert large >= small
+
+
+class TestNetProperties:
+    @given(st.lists(st.binary(min_size=1, max_size=3000), min_size=1,
+                    max_size=6))
+    @settings(max_examples=15,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_stream_byte_conservation(self, chunks):
+        """Everything sent over the virtual network arrives, in order."""
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+        enter_vm_kernel(machine, vm2)
+        server = k2.spawn("srv")
+        k2.enter_user(server)
+        lfd = server.syscall("socket")
+        server.syscall("bind", lfd, 900)
+        server.syscall("listen", lfd)
+        enter_vm_kernel(machine, vm1)
+        client = k1.spawn("cli")
+        k1.enter_user(client)
+        cfd = client.syscall("socket")
+        client.syscall("connect", cfd, "vm2", 900)
+        for chunk in chunks:
+            client.syscall("send", cfd, chunk)
+        enter_vm_kernel(machine, vm2)
+        k2.enter_user(server)
+        conn = server.syscall("accept", lfd)
+        received = b""
+        expected = b"".join(chunks)
+        while len(received) < len(expected):
+            received += server.syscall("recv", conn, 65536)
+        assert received == expected

@@ -1,0 +1,142 @@
+"""Public API surface, testbed helpers, error hierarchy."""
+
+import pytest
+
+import repro
+from repro import errors
+from repro.hw.costs import FEATURES_VMFUNC
+from repro.hw.cpu import Mode
+from repro.hw import vmfunc as vmfunc_mod
+from repro.testbed import (
+    build_single_vm_machine,
+    build_two_vm_machine,
+    enter_vm_kernel,
+    exit_to_host,
+)
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_surface(self):
+        machine = repro.Machine(features=repro.FEATURES_CROSSOVER)
+        assert machine.cpu.features.crossover
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_crossover_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) \
+                    and obj is not errors.CrossOverError:
+                assert issubclass(obj, errors.CrossOverError), name
+
+    def test_world_call_family(self):
+        """Ordering-sensitive subclassing the runtime relies on."""
+        assert issubclass(errors.AuthorizationDenied,
+                          errors.WorldCallError)
+        assert issubclass(errors.CalleeHang, errors.WorldCallError)
+        assert issubclass(errors.CallTimeout, errors.WorldCallError)
+        assert issubclass(errors.ControlFlowViolation,
+                          errors.WorldCallError)
+
+    def test_hardware_fault_family(self):
+        for cls in (errors.GeneralProtectionFault, errors.PageFault,
+                    errors.EPTViolation, errors.VMFuncFault,
+                    errors.WorldTableCacheMiss, errors.NoSuchWorld):
+            assert issubclass(cls, errors.HardwareFault)
+
+    def test_guest_error_fields(self):
+        err = errors.GuestOSError(2, "gone")
+        assert err.errno == 2
+        assert err.message == "gone"
+        assert "errno 2" in str(err)
+
+
+class TestTestbed:
+    def test_enter_vm_kernel_idempotent(self):
+        machine, vm, kernel = build_single_vm_machine()
+        enter_vm_kernel(machine, vm)
+        label = machine.cpu.world_label
+        enter_vm_kernel(machine, vm)      # no-op
+        assert machine.cpu.world_label == label
+
+    def test_enter_vm_kernel_from_user(self):
+        machine, vm, kernel = build_single_vm_machine()
+        proc = kernel.spawn("p")
+        enter_vm_kernel(machine, vm)
+        kernel.enter_user(proc)
+        enter_vm_kernel(machine, vm)
+        assert machine.cpu.ring == 0
+
+    def test_exit_to_host_idempotent(self):
+        machine, vm, kernel = build_single_vm_machine()
+        enter_vm_kernel(machine, vm)
+        exit_to_host(machine)
+        assert machine.cpu.mode is Mode.ROOT
+        exit_to_host(machine)             # no-op
+        assert machine.cpu.mode is Mode.ROOT
+
+    def test_two_vm_names(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+            names=("alpha", "beta"))
+        assert vm1.name == "alpha" and vm2.name == "beta"
+        assert k1.vm is vm1 and k2.vm is vm2
+
+
+class TestVMFuncWrappers:
+    def test_ept_switch_wrapper(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+        enter_vm_kernel(machine, vm1)
+        vmfunc_mod.ept_switch(machine.cpu, vm2.vm_id)
+        assert machine.cpu.vm_name == "vm2"
+
+    def test_world_call_wrapper(self):
+        from repro.guestos.kernel import KERNEL_TEXT_GVA
+        from repro.hw.costs import FEATURES_CROSSOVER
+        from repro.hw.paging import PageTable
+        from repro.machine import Machine
+
+        machine = Machine(features=FEATURES_CROSSOVER)
+        entries = []
+        for name in ("a", "b"):
+            vm = machine.hypervisor.create_vm(name)
+            pt = PageTable(name)
+            gpa = vm.map_new_page("code")
+            pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+            entry = machine.hypervisor.worlds.create_world(
+                vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA)
+            entries.append(entry)
+            machine.cpu.wt_caches.fill(entry)
+        machine.hypervisor.launch(machine.cpu,
+                                  machine.hypervisor.vm_by_name("a"))
+        machine.cpu.write_cr3(entries[0].page_table)
+        caller_wid = vmfunc_mod.world_call(machine.cpu, entries[1].wid)
+        assert caller_wid == entries[0].wid
+
+    def test_manage_wtc_wrapper(self, crossover_machine):
+        from repro.hw.paging import PageTable
+
+        machine = crossover_machine
+        entry = machine.world_table.create(
+            host_mode=True, ring=0, ept=None, page_table=PageTable(),
+            pc=0)
+        vmfunc_mod.manage_wtc(machine.cpu, "fill", entry)
+        assert machine.cpu.wt_caches.lookup_callee(entry.wid) is entry
+        vmfunc_mod.manage_wtc(machine.cpu, "invalidate", entry)
+
+    def test_manage_wtc_bad_operation(self, crossover_machine):
+        from repro.errors import SimulationError
+        from repro.hw.paging import PageTable
+
+        machine = crossover_machine
+        entry = machine.world_table.create(
+            host_mode=True, ring=0, ept=None, page_table=PageTable(),
+            pc=0)
+        with pytest.raises(SimulationError):
+            machine.cpu.manage_wtc("defrag", entry)

@@ -1,0 +1,155 @@
+"""Scale/stress tests: many worlds, many VMs, long call sequences."""
+
+import pytest
+
+from repro.core.call import CallRequest, WorldCallRuntime
+from repro.core.world import WorldRegistry
+from repro.guestos import boot_kernel
+from repro.guestos.kernel import KERNEL_TEXT_GVA
+from repro.hw.costs import FEATURES_CROSSOVER, HardwareFeatures
+from repro.hw.paging import PageTable
+from repro.hypervisor.worlds import WorldService
+from repro.machine import Machine
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+def build_ring(n_vms: int, cache_entries: int = 16):
+    features = HardwareFeatures(vmfunc=True, crossover=True,
+                                wt_cache_entries=cache_entries)
+    machine = Machine(features=features)
+    machine.hypervisor.worlds.quota = 4 * n_vms
+    entries = []
+    for i in range(n_vms):
+        vm = machine.hypervisor.create_vm(f"vm{i}")
+        pt = PageTable(f"vm{i}-kern")
+        gpa = vm.map_new_page("kernel-text")
+        pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+        entries.append(machine.hypervisor.worlds.create_world(
+            vm=vm, ring=0, page_table=pt, pc=KERNEL_TEXT_GVA))
+    machine.hypervisor.launch(machine.cpu,
+                              machine.hypervisor.vm_by_name("vm0"))
+    machine.cpu.write_cr3(entries[0].page_table)
+    return machine, entries
+
+
+class TestManyWorlds:
+    def test_fifty_vm_world_ring(self):
+        """50 VMs' kernels call around the ring; state stays coherent."""
+        machine, entries = build_ring(50)
+        svc = machine.hypervisor.worlds
+        for _ in range(2):
+            for entry in entries[1:] + entries[:1]:
+                wid = svc.world_call(machine.cpu, entry.wid)
+                assert machine.cpu.vm_name == entry.vm_name
+        assert machine.cpu.vm_name == "vm0"
+
+    def test_thrashing_ring_still_correct(self):
+        """A 32-world working set over 4-entry caches: every call
+        misses, every call still lands in the right world."""
+        machine, entries = build_ring(32, cache_entries=4)
+        svc = machine.hypervisor.worlds
+        before = svc.misses_serviced
+        for entry in entries[1:] + entries[:1]:
+            svc.world_call(machine.cpu, entry.wid)
+            assert machine.cpu.cr3 == entry.page_table.root
+        assert svc.misses_serviced > before
+
+    def test_long_call_sequence_counters_monotone(self):
+        machine, entries = build_ring(4)
+        svc = machine.hypervisor.worlds
+        last = 0
+        for i in range(500):
+            svc.world_call(machine.cpu, entries[(i + 1) % 4].wid)
+            assert machine.cpu.perf.cycles > last
+            last = machine.cpu.perf.cycles
+
+    def test_wid_space_grows_without_reuse(self):
+        machine, entries = build_ring(8)
+        svc = machine.hypervisor.worlds
+        seen = {e.wid for e in entries}
+        for i in range(40):
+            pt = PageTable(f"extra{i}")
+            vm = machine.hypervisor.vm_by_name(f"vm{i % 8}")
+            gpa = vm.map_new_page("x")
+            pt.map(KERNEL_TEXT_GVA, gpa, user=False, executable=True)
+            entry = svc.create_world(vm=vm, ring=0, page_table=pt,
+                                     pc=KERNEL_TEXT_GVA)
+            assert entry.wid not in seen
+            seen.add(entry.wid)
+            svc.destroy_world(entry.wid, machine.cpus)
+
+
+class TestDeepNesting:
+    def test_chain_of_nested_world_calls(self):
+        """A -> B -> C -> D handler chain: stacks unwind correctly."""
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+            features=FEATURES_CROSSOVER)
+        registry = WorldRegistry(machine)
+        runtime = WorldCallRuntime(machine, registry)
+        depth_seen = []
+
+        enter_vm_kernel(machine, vm1)
+        worlds = [registry.create_kernel_world(k1, label="w0")]
+        enter_vm_kernel(machine, vm2)
+        kernel_world = registry.create_kernel_world(k2, label="w1")
+        worlds.append(kernel_world)
+        # Two host userland worlds extend the chain (distinct address
+        # spaces: one host-kernel world per machine is the limit, since
+        # a world is identified by its context).
+        for i in (2, 3):
+            proc = machine.hypervisor.create_host_process(f"svc{i}")
+            worlds.append(registry.create_host_user_world(
+                proc, label=f"w{i}"))
+
+        def make_handler(index):
+            def handler(request: CallRequest):
+                depth_seen.append(index)
+                if index + 1 < len(worlds):
+                    return runtime.call(worlds[index],
+                                        worlds[index + 1].wid,
+                                        request.payload)
+                return ("bottom", request.payload)
+            return handler
+
+        for i, world in enumerate(worlds):
+            world.handler = make_handler(i)
+        enter_vm_kernel(machine, vm1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        result = runtime.call(worlds[0], worlds[1].wid, "probe")
+        assert result == ("bottom", "probe")
+        assert depth_seen == [1, 2, 3]
+        assert worlds[0].matches_cpu(machine.cpu)
+        for world in worlds:
+            assert world.call_stack == []
+
+    def test_hundred_sequential_runtime_calls(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+            features=FEATURES_CROSSOVER)
+        registry = WorldRegistry(machine)
+        runtime = WorldCallRuntime(machine, registry)
+        enter_vm_kernel(machine, vm1)
+        caller = registry.create_kernel_world(k1)
+        enter_vm_kernel(machine, vm2)
+        callee = registry.create_kernel_world(
+            k2, handler=lambda request: request.payload * 2)
+        enter_vm_kernel(machine, vm1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        for i in range(100):
+            assert runtime.call(caller, callee.wid, i) == 2 * i
+        assert runtime.calls_completed == 100
+
+
+class TestManyProcesses:
+    def test_thousand_process_vm_remains_functional(self):
+        machine = Machine()
+        vm = machine.hypervisor.create_vm("big")
+        kernel = boot_kernel(machine, vm)
+        for i in range(1000):
+            kernel.spawn(f"p{i:04d}")
+        machine.hypervisor.launch(machine.cpu, vm)
+        proc = kernel.spawn("driver")
+        kernel.enter_user(proc)
+        names = proc.syscall("readdir", "/proc")
+        pids = [n for n in names if n.isdigit()]
+        assert len(pids) == len(kernel.processes)
+        assert proc.syscall("sysinfo")["procs"] == len(kernel.processes)

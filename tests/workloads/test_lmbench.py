@@ -1,0 +1,102 @@
+"""lmbench workload tests over the different surfaces."""
+
+import pytest
+
+from repro.analysis.measure import measured_region
+from repro.systems import Proxos, ShadowContext
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+from repro.workloads.lmbench import (
+    LibOSSurface,
+    LmbenchSuite,
+    NativeSurface,
+    RedirectedSurface,
+)
+
+
+@pytest.fixture
+def native_suite(single_vm):
+    machine, vm, kernel = single_vm
+    suite = LmbenchSuite(NativeSurface(kernel))
+    suite.setup()
+    return machine, suite
+
+
+class TestNativeSuite:
+    def test_setup_opens_descriptors(self, native_suite):
+        machine, suite = native_suite
+        assert set(suite.fds) == {"zero", "null", "p1r", "p1w", "p2r", "p2w"}
+
+    def test_all_ops_run(self, native_suite):
+        machine, suite = native_suite
+        for op in ("null_syscall", "null_io", "open_close", "stat",
+                   "pipe_round_trip", "getppid", "read_dev_zero",
+                   "write_dev_null", "fstat"):
+            getattr(suite, op)()
+
+    def test_null_syscall_near_paper_native(self, native_suite):
+        machine, suite = native_suite
+        suite.null_syscall()
+        with measured_region(machine, "null", 10) as region:
+            for _ in range(10):
+                suite.null_syscall()
+        assert region.measurement.microseconds == pytest.approx(0.29,
+                                                                rel=0.10)
+
+    def test_pipe_near_paper_native(self, native_suite):
+        machine, suite = native_suite
+        suite.pipe_round_trip()
+        with measured_region(machine, "pipe", 4) as region:
+            for _ in range(4):
+                suite.pipe_round_trip()
+        assert region.measurement.microseconds == pytest.approx(3.34,
+                                                                rel=0.10)
+
+    def test_operations_ordering(self, native_suite):
+        """open&close > stat > null I/O > null syscall, as in Table 4."""
+        machine, suite = native_suite
+        results = {}
+        for op in ("null_syscall", "null_io", "stat", "open_close"):
+            getattr(suite, op)()
+            with measured_region(machine, op, 5) as region:
+                for _ in range(5):
+                    getattr(suite, op)()
+            results[op] = region.measurement.microseconds
+        assert (results["open_close"] > results["stat"]
+                > results["null_syscall"])
+
+
+class TestRedirectedSurface:
+    def test_pipe_over_redirection(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+        system = ShadowContext(machine, vm1, vm2, optimized=True)
+        enter_vm_kernel(machine, vm1)
+        system.setup()
+        surface = RedirectedSurface(system)
+        suite = LmbenchSuite(surface)
+        suite.setup()
+        suite.pipe_round_trip()    # completes without deadlock
+
+    def test_fds_live_remotely(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+        system = ShadowContext(machine, vm1, vm2, optimized=True)
+        enter_vm_kernel(machine, vm1)
+        system.setup()
+        surface = RedirectedSurface(system)
+        suite = LmbenchSuite(surface)
+        suite.setup()
+        # The executor process in vm2 owns the descriptors.
+        assert len(system.remote_executor.fds) >= 6
+        assert len(surface.proc.fds) == 0
+
+
+class TestLibOSSurface:
+    def test_proxos_optimized_suite(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+        system = Proxos(machine, vm1, vm2, optimized=True)
+        enter_vm_kernel(machine, vm1)
+        system.setup()
+        surface = LibOSSurface(system)
+        suite = LmbenchSuite(surface)
+        suite.setup()
+        suite.null_syscall()
+        suite.pipe_round_trip()

@@ -1,0 +1,108 @@
+"""OpenSSH transfer workload tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.testbed import build_two_vm_machine
+from repro.workloads.openssh import (
+    BLOCK_SIZE,
+    OpenSSHTransfer,
+    SAMPLE_BLOCKS,
+)
+
+
+def build(mode, port=3300):
+    machine, k1_vm, k1, k2_vm, k2 = build_two_vm_machine(
+        names=("private", "public"))
+    return machine, OpenSSHTransfer(machine, k1, k2, mode=mode,
+                                    client_port=port)
+
+
+class TestSetup:
+    def test_unknown_mode_rejected(self):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+            names=("private", "public"))
+        with pytest.raises(ConfigurationError):
+            OpenSSHTransfer(machine, k1, k2, mode="magic")
+
+    def test_run_before_setup_rejected(self):
+        machine, transfer = build("native")
+        with pytest.raises(SimulationError):
+            transfer.run()
+
+    def test_partition_places_file_in_private_vm(self):
+        machine, transfer = build("crossover")
+        transfer.setup(1)
+        transfer.private_kernel.vfs.resolve("/tmp/payload")
+        with pytest.raises(Exception):
+            transfer.public_kernel.vfs.resolve("/tmp/payload")
+
+    def test_native_places_file_in_serving_vm(self):
+        machine, transfer = build("native")
+        transfer.setup(1)
+        transfer.public_kernel.vfs.resolve("/tmp/payload")
+
+
+class TestTransfer:
+    def test_client_receives_sampled_data(self):
+        machine, transfer = build("native")
+        transfer.setup(1)
+        transfer.run()
+        # At least the exactly-simulated blocks flowed to the client.
+        assert len(transfer.client.rx) >= SAMPLE_BLOCKS * BLOCK_SIZE
+
+    def test_throughput_ordering(self):
+        results = {}
+        for mode in ("native", "crossover", "baseline"):
+            machine, transfer = build(mode)
+            transfer.setup(128)
+            results[mode] = transfer.run().throughput_mb_s
+        assert results["native"] > results["crossover"] > results["baseline"]
+
+    def test_extrapolation_matches_exact_small_run(self):
+        """A transfer small enough to simulate exactly must cost the
+        same per block as the sampled prefix predicts."""
+        machine, transfer = build("native")
+        transfer.setup(1)
+        result = transfer.run()
+        per_block = result.cycles / result.blocks
+        machine2, transfer2 = build("native", port=3301)
+        transfer2.setup(2)
+        result2 = transfer2.run()
+        per_block2 = result2.cycles / result2.blocks
+        assert per_block2 == pytest.approx(per_block, rel=0.02)
+
+    def test_result_fields(self):
+        machine, transfer = build("crossover")
+        transfer.setup(1)
+        result = transfer.run()
+        assert result.mode == "crossover"
+        assert result.size_mb == 1
+        assert result.blocks == 1024 * 1024 // BLOCK_SIZE
+        assert result.sampled_blocks == SAMPLE_BLOCKS
+        assert result.seconds > 0
+
+    def test_native_degrades_beyond_cache(self):
+        small = None
+        large = None
+        for size, slot in ((128, "small"), (1024, "large")):
+            machine, transfer = build("native")
+            transfer.setup(size)
+            tput = transfer.run().throughput_mb_s
+            if slot == "small":
+                small = tput
+            else:
+                large = tput
+        assert small is not None and large is not None
+        assert large < small
+
+    def test_crossover_improvement_in_paper_band(self):
+        """Throughput improvement of CrossOver over the hypervisor
+        baseline: the paper reports 67-91%."""
+        results = {}
+        for mode in ("crossover", "baseline"):
+            machine, transfer = build(mode)
+            transfer.setup(256)
+            results[mode] = transfer.run().throughput_mb_s
+        improvement = results["crossover"] / results["baseline"] - 1
+        assert 0.4 < improvement < 1.3

@@ -1,0 +1,112 @@
+"""Utility workload tests."""
+
+import pytest
+
+from repro.systems import ShadowContext
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+from repro.workloads.lmbench import NativeSurface, RedirectedSurface
+from repro.workloads.utilities import (
+    DEFAULT_SCALES,
+    UTILITIES,
+    normalized_output,
+    prepare_inspection_environment,
+    run_utility,
+)
+
+SMALL_SCALES = {"procs": 25, "utmp_entries": 30, "words_kib": 8,
+                "bin_files": 12}
+
+
+@pytest.fixture
+def inspected_vm(two_vms):
+    machine, vm1, k1, vm2, k2 = two_vms
+    prepare_inspection_environment(k2, SMALL_SCALES)
+    return machine, vm1, k1, vm2, k2
+
+
+def native_surface(machine, kernel):
+    surface = NativeSurface(kernel)
+    surface.prepare()
+    return surface
+
+
+class TestEnvironment:
+    def test_processes_created(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        assert len(k2.processes) >= SMALL_SCALES["procs"]
+
+    def test_utmp_scaled(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        _, node = k2.vfs.resolve("/var/run/utmp")
+        assert node.content().decode().count("\n") == \
+            SMALL_SCALES["utmp_entries"]
+
+    def test_words_sized(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        _, node = k2.vfs.resolve("/usr/share/dict/words")
+        size_kib = len(node.content()) / 1024
+        assert size_kib == pytest.approx(SMALL_SCALES["words_kib"], rel=0.05)
+
+
+class TestOutputs:
+    def test_pstree_builds_real_tree(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        run = run_utility("pstree", native_surface(machine, k2))
+        assert "daemon-0001" in run.output
+        assert run.syscalls > 4 * SMALL_SCALES["procs"]
+
+    def test_w_counts_sessions_and_procs(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        run = run_utility("w", native_surface(machine, k2))
+        assert f"{SMALL_SCALES['utmp_entries']} sessions" in run.output
+
+    def test_users_lists_names(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        run = run_utility("users", native_surface(machine, k2))
+        assert "user00" in run.output
+
+    def test_grep_counts_matches(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        run = run_utility("grep", native_surface(machine, k2))
+        assert "matches" in run.output
+
+    def test_uptime_reports_sessions(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        run = run_utility("uptime", native_surface(machine, k2))
+        assert f"{SMALL_SCALES['utmp_entries']} users" in run.output
+
+    def test_ls_lists_bin(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        run = run_utility("ls", native_surface(machine, k2))
+        assert "tool0000" in run.output
+
+    def test_unknown_utility(self, inspected_vm):
+        machine, vm1, k1, vm2, k2 = inspected_vm
+        with pytest.raises(KeyError):
+            run_utility("top", native_surface(machine, k2))
+
+
+class TestRedirectedEquivalence:
+    @pytest.mark.parametrize("tool", sorted(UTILITIES))
+    def test_redirected_output_matches_native(self, tool):
+        """The redirected run inspects the same VM state and must
+        produce byte-identical output."""
+        def run_native():
+            machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+            prepare_inspection_environment(k2, SMALL_SCALES)
+            return run_utility(tool, native_surface(machine, k2)).output
+
+        def run_redirected(optimized):
+            machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+            prepare_inspection_environment(k2, SMALL_SCALES)
+            system = ShadowContext(machine, vm1, vm2, optimized=optimized)
+            enter_vm_kernel(machine, vm1)
+            system.setup()
+            surface = RedirectedSurface(system)
+            surface.prepare()
+            return run_utility(tool, surface).output
+
+        native = normalized_output(tool, run_native())
+        assert native                                     # non-empty
+        assert normalized_output(tool, run_redirected(True)) == native
+        assert normalized_output(tool, run_redirected(False)) == native

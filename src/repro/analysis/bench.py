@@ -1,0 +1,161 @@
+"""Wall-clock benchmarking of the experiment sweeps (BENCH artifacts).
+
+Measures the host runtime of the Table-4 + Table-5 sweep in three
+configurations and checks they agree on every simulated number:
+
+* ``before`` — fast path disabled, serial: the seed's step-by-step
+  charging/marshaling/trace-recording code path;
+* ``after_serial`` — fast path enabled, serial;
+* ``after_parallel`` — fast path enabled, cells fanned over worker
+  processes (equal to serial on single-CPU hosts).
+
+Optionally (``seed_src=``), the sweep is also timed against an actual
+seed checkout's source tree in a subprocess, giving a true
+before-this-PR baseline rather than an in-process approximation.
+
+The artifact is JSON::
+
+    {
+      "host": {"cpus": 1, "python": "3.11.7"},
+      "tables": ["table4", "table5"],
+      "runs": {"before": {...}, "after_serial": {...}, ...},
+      "equivalent": true,
+      "speedup_serial": 2.6,
+      "speedup_best": 2.6,
+      "cache_stats": {...}
+    }
+
+Each run entry carries ``wall_seconds`` total plus per-table timings.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.analysis import experiments, parallel
+from repro.core import convention, fastpath
+
+DEFAULT_TABLES: Tuple[str, ...] = ("table4", "table5")
+
+
+def _run_serial(tables: Tuple[str, ...]) -> Dict[str, Any]:
+    per_table: Dict[str, float] = {}
+    results: Dict[str, Any] = {}
+    t_all = time.perf_counter()
+    for table in tables:
+        runner = getattr(experiments, f"run_{table}")
+        t0 = time.perf_counter()
+        results[table] = runner()
+        per_table[table] = round(time.perf_counter() - t0, 4)
+    return {
+        "results": results,
+        "per_table_seconds": per_table,
+        "wall_seconds": round(time.perf_counter() - t_all, 4),
+    }
+
+
+def _run_parallel(tables: Tuple[str, ...],
+                  workers: Optional[int]) -> Dict[str, Any]:
+    sweep = parallel.run_sweep(tables, workers=workers)
+    return {
+        "results": sweep["results"],
+        "cells": sweep["cells"],
+        "wall_seconds": round(sweep["wall_seconds"], 4),
+        "workers": workers if workers is not None
+        else parallel.default_workers(),
+    }
+
+
+def _run_seed_baseline(seed_src: str, tables: Tuple[str, ...]
+                       ) -> Optional[Dict[str, Any]]:
+    """Time the same sweep against another source tree (the seed
+    checkout), in a subprocess so the two trees cannot mix."""
+    script = (
+        "import json, sys, time\n"
+        "from repro.analysis import experiments\n"
+        "tables = sys.argv[1].split(',')\n"
+        "per = {}\n"
+        "t_all = time.perf_counter()\n"
+        "for t in tables:\n"
+        "    t0 = time.perf_counter()\n"
+        "    getattr(experiments, 'run_' + t)()\n"
+        "    per[t] = round(time.perf_counter() - t0, 4)\n"
+        "print(json.dumps({'per_table_seconds': per,\n"
+        "                  'wall_seconds': round(time.perf_counter() "
+        "- t_all, 4)}))\n")
+    env = dict(os.environ, PYTHONPATH=seed_src)
+    try:
+        out = subprocess.run(
+            [sys.executable, "-c", script, ",".join(tables)],
+            env=env, capture_output=True, text=True, timeout=3600,
+            check=True)
+    except (subprocess.SubprocessError, OSError):
+        return None
+    try:
+        return json.loads(out.stdout.strip().splitlines()[-1])
+    except (ValueError, IndexError):
+        return None
+
+
+def _strip_results(run: Dict[str, Any]) -> Dict[str, Any]:
+    return {k: v for k, v in run.items() if k != "results"}
+
+
+def run_bench(tables: Tuple[str, ...] = DEFAULT_TABLES,
+              workers: Optional[int] = None,
+              seed_src: Optional[str] = None,
+              output: Optional[str] = None) -> Dict[str, Any]:
+    """Run the before/after sweep benchmark; optionally write JSON."""
+    convention.clear_caches()
+    with fastpath.scoped(False):
+        before = _run_serial(tables)
+    convention.clear_caches()
+    with fastpath.scoped(True):
+        after_serial = _run_serial(tables)
+    with fastpath.scoped(True):
+        after_parallel = _run_parallel(tables, workers)
+
+    equivalent = (before["results"] == after_serial["results"]
+                  == after_parallel["results"])
+
+    artifact: Dict[str, Any] = {
+        "host": {
+            "cpus": parallel.default_workers(),
+            "python": platform.python_version(),
+        },
+        "tables": list(tables),
+        "runs": {
+            "before": _strip_results(before),
+            "after_serial": _strip_results(after_serial),
+            "after_parallel": _strip_results(after_parallel),
+        },
+        "equivalent": equivalent,
+        "speedup_serial": round(
+            before["wall_seconds"] / after_serial["wall_seconds"], 3),
+        "speedup_best": round(
+            before["wall_seconds"]
+            / min(after_serial["wall_seconds"],
+                  after_parallel["wall_seconds"]), 3),
+        "cache_stats": dict(convention.cache_stats),
+    }
+
+    if seed_src is not None:
+        seed = _run_seed_baseline(seed_src, tables)
+        if seed is not None:
+            artifact["runs"]["seed"] = seed
+            artifact["speedup_vs_seed"] = round(
+                seed["wall_seconds"]
+                / min(after_serial["wall_seconds"],
+                      after_parallel["wall_seconds"]), 3)
+
+    if output is not None:
+        with open(output, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return artifact

@@ -19,6 +19,7 @@ from repro.analysis.calibration import (
 )
 from repro.analysis.measure import (Measurement, measure_callable,
                                     measured_region)
+from repro.core import fastpath
 from repro.core.call import CallRequest, WorldCallRuntime
 from repro.core.world import WorldRegistry
 from repro.errors import GuestOSError
@@ -65,10 +66,24 @@ TABLE4_OPS: Dict[str, Tuple[str, int]] = {
 }
 
 
-def _surface_for(system_name: str, optimized: bool) -> SyscallSurface:
+def _tune(machine: Machine) -> None:
+    """Fast-path tuning for experiment machines.
+
+    The table runners never read the transition trace, so recording is
+    switched off when the fast path is on — that is what arms the fused
+    charge batches in the core (the figure runners, which *do* read the
+    trace, keep it enabled).  Simulated counters are unaffected."""
+    if fastpath.enabled():
+        machine.cpu.trace.enabled = False
+
+
+def _surface_for(system_name: str, optimized: bool,
+                 keep_trace: bool = False) -> SyscallSurface:
     """Build a fresh two-VM machine running one system variant and
     return the measurement surface for it."""
     machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    if not keep_trace:
+        _tune(machine)
     system = SYSTEMS[system_name](machine, vm1, vm2, optimized=optimized)
     enter_vm_kernel(machine, vm1)
     system.setup()
@@ -82,6 +97,7 @@ def _surface_for(system_name: str, optimized: bool) -> SyscallSurface:
 
 def _native_surface() -> SyscallSurface:
     machine, vm, kernel = build_single_vm_machine()
+    _tune(machine)
     return NativeSurface(kernel)
 
 
@@ -112,106 +128,168 @@ def _machine_of(surface: SyscallSurface) -> Machine:
 # Table 4 — microbenchmarks
 # ---------------------------------------------------------------------------
 
+def table4_cell(system_name: Optional[str], optimized: bool,
+                iterations: int = 5) -> Dict[str, float]:
+    """One Table-4 column on a fresh machine: all five ops, in row
+    order, on one surface.  ``system_name=None`` is the native column.
+
+    Module-level and argument-picklable so the parallel runner can ship
+    it to a worker process; the serial runner calls the same function,
+    so both produce identical simulated numbers by construction.
+    """
+    if system_name is None:
+        surface = _native_surface()
+    else:
+        surface = _surface_for(system_name, optimized)
+    return {op: _measure_op(surface, method, divisor,
+                            iterations).microseconds
+            for op, (method, divisor) in TABLE4_OPS.items()}
+
+
+def table4_specs(iterations: int = 5) -> List[Tuple[str, tuple]]:
+    """The cell work-list of :func:`run_table4` (native first, then
+    every system x variant), as ``(runner_name, args)`` pairs."""
+    specs: List[Tuple[str, tuple]] = [("table4", (None, False, iterations))]
+    for system_name in SYSTEMS:
+        for optimized in (False, True):
+            specs.append(("table4", (system_name, optimized, iterations)))
+    return specs
+
+
+def merge_table4(cells: List[Tuple[tuple, Dict[str, float]]]
+                 ) -> Dict[str, Dict[str, Any]]:
+    """Assemble per-cell values back into the Table-4 result layout."""
+    results: Dict[str, Dict[str, Any]] = {
+        op: {"systems": {}, "paper": TABLE4_US[op]} for op in TABLE4_OPS}
+    for (system_name, optimized, _), value in cells:
+        for op, latency in value.items():
+            if system_name is None:
+                results[op]["native"] = latency
+            else:
+                cell = results[op]["systems"].setdefault(system_name,
+                                                         [None, None])
+                cell[1 if optimized else 0] = latency
+    return results
+
+
 def run_table4(iterations: int = 5) -> Dict[str, Dict[str, Any]]:
     """Measure every Table-4 cell.
 
     Returns ``{op: {"native": us, "systems": {name: (orig, opt)},
     "paper": ...}}``.
     """
-    results: Dict[str, Dict[str, Any]] = {
-        op: {"systems": {}} for op in TABLE4_OPS}
-
-    native = _native_surface()
-    for op, (method, divisor) in TABLE4_OPS.items():
-        m = _measure_op(native, method, divisor, iterations)
-        results[op]["native"] = m.microseconds
-        results[op]["paper"] = TABLE4_US[op]
-
-    for system_name in SYSTEMS:
-        for optimized in (False, True):
-            surface = _surface_for(system_name, optimized)
-            for op, (method, divisor) in TABLE4_OPS.items():
-                m = _measure_op(surface, method, divisor, iterations)
-                cell = results[op]["systems"].setdefault(system_name,
-                                                         [None, None])
-                cell[1 if optimized else 0] = m.microseconds
-    return results
+    return merge_table4([(args, CELL_RUNNERS[name](*args))
+                         for name, args in table4_specs(iterations)])
 
 
 # ---------------------------------------------------------------------------
 # Table 5 — utility tools
 # ---------------------------------------------------------------------------
 
+def _table5_native(tool: str) -> Tuple[float, str]:
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    _tune(machine)
+    prepare_inspection_environment(k2)
+    surface = NativeSurface(k2)
+    surface.prepare()
+    run = None
+
+    def do() -> None:
+        nonlocal run
+        run = run_utility(tool, surface)
+
+    m = measure_callable(machine, do, label=tool, iterations=1, warmup=0)
+    assert run is not None
+    return m.milliseconds, run.output
+
+
+def _table5_redirected(tool: str, optimized: bool) -> Tuple[float, str]:
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    _tune(machine)
+    prepare_inspection_environment(k2)
+    system = ShadowContext(machine, vm1, vm2, optimized=optimized)
+    enter_vm_kernel(machine, vm1)
+    system.setup()
+    surface = RedirectedSurface(system)
+    surface.prepare()
+    run = None
+
+    def do() -> None:
+        nonlocal run
+        run = run_utility(tool, surface)
+
+    m = measure_callable(machine, do, label=tool, iterations=1, warmup=0)
+    assert run is not None
+    return m.milliseconds, run.output
+
+
+def table5_cell(tool: str) -> Dict[str, Any]:
+    """One Table-5 row: the three configurations of one utility, each
+    on a fresh machine (picklable parallel-runner unit)."""
+    native, native_out = _table5_native(tool)
+    orig, orig_out = _table5_redirected(tool, optimized=False)
+    opt, opt_out = _table5_redirected(tool, optimized=True)
+    return {
+        "native": native, "original": orig, "crossover": opt,
+        "paper": TABLE5_MS[tool],
+        "outputs_consistent": (
+            normalized_output(tool, native_out)
+            == normalized_output(tool, orig_out)
+            == normalized_output(tool, opt_out)),
+    }
+
+
+def table5_specs() -> List[Tuple[str, tuple]]:
+    """The per-tool work-list of :func:`run_table5`."""
+    return [("table5", (tool,)) for tool in UTILITIES]
+
+
+def merge_table5(cells: List[Tuple[tuple, Dict[str, Any]]]
+                 ) -> Dict[str, Dict[str, Any]]:
+    """Assemble per-tool rows back into the Table-5 result layout."""
+    return {args[0]: value for args, value in cells}
+
+
 def run_table5() -> Dict[str, Dict[str, Any]]:
     """Measure every Table-5 cell (ms): native / w/o / w/ CrossOver."""
-    results: Dict[str, Dict[str, Any]] = {}
-
-    def native_ms(tool: str) -> Tuple[float, str]:
-        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
-        prepare_inspection_environment(k2)
-        surface = NativeSurface(k2)
-        surface.prepare()
-        run = None
-
-        def do() -> None:
-            nonlocal run
-            run = run_utility(tool, surface)
-
-        m = measure_callable(machine, do, label=tool, iterations=1, warmup=0)
-        assert run is not None
-        return m.milliseconds, run.output
-
-    def redirected_ms(tool: str, optimized: bool) -> Tuple[float, str]:
-        machine, vm1, k1, vm2, k2 = build_two_vm_machine()
-        prepare_inspection_environment(k2)
-        system = ShadowContext(machine, vm1, vm2, optimized=optimized)
-        enter_vm_kernel(machine, vm1)
-        system.setup()
-        surface = RedirectedSurface(system)
-        surface.prepare()
-        run = None
-
-        def do() -> None:
-            nonlocal run
-            run = run_utility(tool, surface)
-
-        m = measure_callable(machine, do, label=tool, iterations=1, warmup=0)
-        assert run is not None
-        return m.milliseconds, run.output
-
-    for tool in UTILITIES:
-        native, native_out = native_ms(tool)
-        orig, orig_out = redirected_ms(tool, optimized=False)
-        opt, opt_out = redirected_ms(tool, optimized=True)
-        results[tool] = {
-            "native": native, "original": orig, "crossover": opt,
-            "paper": TABLE5_MS[tool],
-            "outputs_consistent": (
-                normalized_output(tool, native_out)
-                == normalized_output(tool, orig_out)
-                == normalized_output(tool, opt_out)),
-        }
-    return results
+    return merge_table5([(args, CELL_RUNNERS[name](*args))
+                         for name, args in table5_specs()])
 
 
 # ---------------------------------------------------------------------------
 # Table 6 — OpenSSH throughput
 # ---------------------------------------------------------------------------
 
+def table6_cell(size: int) -> Dict[str, Any]:
+    """One Table-6 row: the three scp modes at one transfer size."""
+    row: Dict[str, Any] = {"paper": TABLE6_MBS.get(size)}
+    for mode in ("native", "crossover", "baseline"):
+        machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+            names=("private", "public"))
+        _tune(machine)
+        transfer = OpenSSHTransfer(machine, k1, k2, mode=mode)
+        transfer.setup(size)
+        row[mode] = transfer.run().throughput_mb_s
+    return row
+
+
+def table6_specs(sizes_mb: Tuple[int, ...] = (128, 256, 512, 1024)
+                 ) -> List[Tuple[str, tuple]]:
+    """The per-size work-list of :func:`run_table6`."""
+    return [("table6", (size,)) for size in sizes_mb]
+
+
+def merge_table6(cells: List[Tuple[tuple, Dict[str, Any]]]
+                 ) -> Dict[int, Dict[str, Any]]:
+    """Assemble per-size rows back into the Table-6 result layout."""
+    return {args[0]: value for args, value in cells}
+
+
 def run_table6(sizes_mb: Tuple[int, ...] = (128, 256, 512, 1024)
                ) -> Dict[int, Dict[str, Any]]:
     """Measure scp throughput for every size x mode."""
-    results: Dict[int, Dict[str, Any]] = {}
-    for size in sizes_mb:
-        row: Dict[str, Any] = {"paper": TABLE6_MBS.get(size)}
-        for mode in ("native", "crossover", "baseline"):
-            machine, vm1, k1, vm2, k2 = build_two_vm_machine(
-                names=("private", "public"))
-            transfer = OpenSSHTransfer(machine, k1, k2, mode=mode)
-            transfer.setup(size)
-            row[mode] = transfer.run().throughput_mb_s
-        results[size] = row
-    return results
+    return merge_table6([(args, CELL_RUNNERS[name](*args))
+                         for name, args in table6_specs(sizes_mb)])
 
 
 # ---------------------------------------------------------------------------
@@ -306,6 +384,7 @@ def _crossover_surface() -> NativeSurface:
     redirection (authorize off, per Section 7.2)."""
     machine, vm1, k1, vm2, k2 = build_two_vm_machine(
         features=FEATURES_CROSSOVER)
+    _tune(machine)
     registry = WorldRegistry(machine)
     runtime = WorldCallRuntime(machine, registry)
     executor = k2.spawn("world-executor")
@@ -334,6 +413,7 @@ def _crossover_surface() -> NativeSurface:
 
 def _baseline_redirect_surface() -> NativeSurface:
     machine, vm1, k1, vm2, k2 = build_two_vm_machine()
+    _tune(machine)
     executor = k2.spawn("redirect-executor")
     redirector = _MinimalHypervisorRedirector(machine, vm1, vm2, executor)
     k1.install_redirector(redirector)
@@ -343,28 +423,47 @@ def _baseline_redirect_surface() -> NativeSurface:
     return surface
 
 
+_TABLE7_SURFACES = {
+    "native": _native_surface,
+    "crossover": _crossover_surface,
+    "baseline": _baseline_redirect_surface,
+}
+
+
+def table7_cell(key: str, iterations: int = 5) -> Dict[str, float]:
+    """One Table-7 column: every row's instruction count on one fresh
+    surface (the surface persists across rows, as in the paper's
+    single-boot measurement)."""
+    surface = _TABLE7_SURFACES[key]()
+    suite = LmbenchSuite(surface)
+    suite.setup()
+    machine = _machine_of(surface)
+    return {row: measure_callable(machine, getattr(suite, method),
+                                  label=row,
+                                  iterations=iterations).instructions
+            for row, method in TABLE7_OPS.items()}
+
+
+def table7_specs(iterations: int = 5) -> List[Tuple[str, tuple]]:
+    """The per-surface work-list of :func:`run_table7`."""
+    return [("table7", (key, iterations)) for key in _TABLE7_SURFACES]
+
+
+def merge_table7(cells: List[Tuple[tuple, Dict[str, float]]]
+                 ) -> Dict[str, Dict[str, Any]]:
+    """Assemble per-surface columns back into the Table-7 layout."""
+    results: Dict[str, Dict[str, Any]] = {
+        row: {"paper": TABLE7_INSNS[row]} for row in TABLE7_OPS}
+    for (key, _), value in cells:
+        for row, insns in value.items():
+            results[row][key] = insns
+    return results
+
+
 def run_table7(iterations: int = 5) -> Dict[str, Dict[str, Any]]:
     """Measure instruction counts: native / w/ CrossOver / w/o."""
-    results: Dict[str, Dict[str, Any]] = {}
-    surfaces = {
-        "native": _native_surface(),
-        "crossover": _crossover_surface(),
-        "baseline": _baseline_redirect_surface(),
-    }
-    suites = {}
-    for key, surface in surfaces.items():
-        suite = LmbenchSuite(surface)
-        suite.setup()
-        suites[key] = suite
-    for row, method in TABLE7_OPS.items():
-        entry: Dict[str, Any] = {"paper": TABLE7_INSNS[row]}
-        for key, suite in suites.items():
-            machine = _machine_of(surfaces[key])
-            m = measure_callable(machine, getattr(suite, method),
-                                 label=row, iterations=iterations)
-            entry[key] = m.instructions
-        results[row] = entry
-    return results
+    return merge_table7([(args, CELL_RUNNERS[name](*args))
+                         for name, args in table7_specs(iterations)])
 
 
 # ---------------------------------------------------------------------------
@@ -376,7 +475,8 @@ def run_figure2() -> Dict[str, Dict[str, Any]]:
     path and the crossing count next to the paper's figure count."""
     results: Dict[str, Dict[str, Any]] = {}
     for system_name in SYSTEMS:
-        surface = _surface_for(system_name, optimized=False)
+        surface = _surface_for(system_name, optimized=False,
+                               keep_trace=True)
         machine = _machine_of(surface)
         suite = LmbenchSuite(surface)
         suite.setup()
@@ -424,3 +524,27 @@ def run_figure4() -> Dict[str, Any]:
         "vmfunc_switches": sum(1 for e in events
                                if e.kind == "vmfunc_ept_switch"),
     }
+
+
+# ---------------------------------------------------------------------------
+# The cell registry: every parallelizable unit of work, by name.
+#
+# Serial runners look cells up here too, so serial and parallel sweeps
+# execute literally the same functions; specs are (name, args) pairs —
+# plain picklable data a worker process can receive.
+# ---------------------------------------------------------------------------
+
+CELL_RUNNERS: Dict[str, Callable[..., Any]] = {
+    "table4": table4_cell,
+    "table5": table5_cell,
+    "table6": table6_cell,
+    "table7": table7_cell,
+}
+
+#: Spec builder and merge function per table, for sweep drivers.
+TABLE_PLANS = {
+    "table4": (table4_specs, merge_table4),
+    "table5": (table5_specs, merge_table5),
+    "table6": (table6_specs, merge_table6),
+    "table7": (table7_specs, merge_table7),
+}

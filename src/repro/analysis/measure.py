@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import contextlib
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, List, Optional
 
@@ -18,6 +19,9 @@ class Measurement:
     label: str
     delta: PerfDelta
     iterations: int = 1
+    #: Host wall-clock spent inside the measured region (simulator
+    #: runtime, not simulated time) — feeds the BENCH artifacts.
+    wall_seconds: float = 0.0
 
     @property
     def cycles(self) -> float:
@@ -63,10 +67,13 @@ def measured_region(machine: Machine, label: str = "",
         print(region.measurement.microseconds)
     """
     start = machine.cpu.perf.snapshot()
+    t0 = time.perf_counter()
     region = _Region()
     yield region
+    wall = time.perf_counter() - t0
     delta = start.delta(machine.cpu.perf.snapshot())
-    region.measurement = Measurement(label, delta, iterations)
+    region.measurement = Measurement(label, delta, iterations,
+                                     wall_seconds=wall)
 
 
 def measure_callable(machine: Machine, fn: Callable[[], None], *,

@@ -17,11 +17,27 @@ import argparse
 import sys
 from typing import List
 
+from typing import Optional
+
 from repro.analysis import experiments
 from repro.analysis.hops import compute_table3
 from repro.analysis.ringmap import count_direct, crossing_matrix
 from repro.analysis.tables import format_table, improvement, reduction
 from repro.systems.pathmodels import TABLE1_SYSTEMS
+
+#: Worker count when the sweep sections run parallel.
+#: ``None`` = serial; ``0`` = parallel with one worker per CPU.
+_PARALLEL_WORKERS: Optional[int] = None
+
+
+def _run_table(name: str, **kwargs):
+    """Dispatch a table sweep to the serial or parallel runner."""
+    if _PARALLEL_WORKERS is not None:
+        from repro.analysis import parallel
+
+        return getattr(parallel, f"run_{name}")(
+            workers=_PARALLEL_WORKERS or None, **kwargs)
+    return getattr(experiments, f"run_{name}")(**kwargs)
 
 
 def section_table1() -> str:
@@ -94,7 +110,7 @@ def section_figure2() -> str:
 
 def section_table4() -> str:
     """Table 4: microbenchmark latencies."""
-    data = experiments.run_table4()
+    data = _run_table("table4")
     rows = []
     for op, d in data.items():
         paper_native, paper_systems = d["paper"]
@@ -116,7 +132,7 @@ def section_table4() -> str:
 
 def section_table5() -> str:
     """Table 5: utility tools."""
-    data = experiments.run_table5()
+    data = _run_table("table5")
     rows = []
     for tool, d in data.items():
         pn, po, pc = d["paper"]
@@ -135,7 +151,7 @@ def section_table5() -> str:
 
 def section_table6() -> str:
     """Table 6: OpenSSH throughput."""
-    data = experiments.run_table6()
+    data = _run_table("table6")
     rows = []
     for size, d in data.items():
         pn, pc, pb = d["paper"]
@@ -152,7 +168,7 @@ def section_table6() -> str:
 
 def section_table7() -> str:
     """Table 7: instruction counts."""
-    data = experiments.run_table7()
+    data = _run_table("table7")
     rows = []
     for op, d in data.items():
         pn, pc, pb = d["paper"]
@@ -228,7 +244,41 @@ def main(argv=None) -> int:
                         help="emit the EXPERIMENTS-style markdown report")
     parser.add_argument("--section", action="append", choices=SECTIONS,
                         help="run only the named section(s)")
+    parser.add_argument("--parallel", action="store_true",
+                        help="fan table sweeps over worker processes")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker count for --parallel "
+                        "(default: one per CPU)")
+    parser.add_argument("--bench", metavar="PATH", default=None,
+                        help="run the before/after sweep benchmark and "
+                        "write the BENCH JSON artifact to PATH")
+    parser.add_argument("--bench-seed-src", metavar="DIR", default=None,
+                        help="also time the sweep against another source "
+                        "tree (e.g. a seed checkout's src/)")
     args = parser.parse_args(argv)
+    if args.bench:
+        from repro.analysis.bench import run_bench
+
+        artifact = run_bench(workers=args.workers,
+                             seed_src=args.bench_seed_src,
+                             output=args.bench)
+        runs = artifact["runs"]
+        print(f"before: {runs['before']['wall_seconds']}s  "
+              f"after(serial): {runs['after_serial']['wall_seconds']}s  "
+              f"after(parallel): {runs['after_parallel']['wall_seconds']}s")
+        if "seed" in runs:
+            print(f"seed baseline: {runs['seed']['wall_seconds']}s  "
+                  f"speedup vs seed: {artifact['speedup_vs_seed']}x")
+        elif args.bench_seed_src:
+            print(f"warning: seed baseline failed (is "
+                  f"{args.bench_seed_src!r} an importable source tree?); "
+                  "omitted from the artifact", file=sys.stderr)
+        print(f"equivalent: {artifact['equivalent']}  "
+              f"speedup: {artifact['speedup_best']}x  -> {args.bench}")
+        return 0 if artifact["equivalent"] else 1
+    if args.parallel:
+        global _PARALLEL_WORKERS
+        _PARALLEL_WORKERS = args.workers or 0
     if args.markdown:
         from repro.analysis.markdown import build_markdown
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
-from repro.core import convention
+from repro.core import convention, fastpath
 from repro.core.binding import BindingTable
 from repro.core.channel import Channel, next_channel_gva
 from repro.core.world import World, WorldRegistry
@@ -35,6 +35,7 @@ from repro.errors import (
     SimulationError,
     WorldCallError,
 )
+from repro.hw import fused
 from repro.hw.costs import Cost
 from repro.hw.cpu import Mode, WID_REGISTER
 
@@ -162,14 +163,19 @@ class WorldCallRuntime:
                 "call setup_channel() first")
 
         # Caller saves its running state in its own memory space.
-        cpu.charge("world_save_state")
+        fast = fastpath.enabled() and not cpu.trace.enabled
+        if fast:
+            fused.world_call_caller_entry(cpu.cost_model).apply(cpu.perf)
+        else:
+            cpu.charge("world_save_state")
         caller.call_stack.append({
             "expected_callee": callee_wid,
             "regs": cpu.regs.snapshot(),
             "kernel_current": (caller.kernel.current
                                if caller.kernel is not None else None),
         })
-        cpu.charge("world_param_setup")
+        if not fast:
+            cpu.charge("world_param_setup")
         if not in_registers:
             assert channel is not None
             channel.write_payload(cpu, self.machine.memory, wire)
@@ -186,12 +192,28 @@ class WorldCallRuntime:
         except CalleeHang:
             return self._recover_from_hang(caller, callee)
 
-        result_wire = convention.encode(result)
-        result_in_regs = convention.fits_registers(result_wire)
-        if not result_in_regs:
-            if channel is None:
+        try:
+            result_wire = convention.encode(result)
+            result_in_regs = convention.fits_registers(result_wire)
+            if not result_in_regs and channel is None:
                 raise WorldCallError(
                     f"result of {len(result_wire)}B needs a channel")
+        except (WorldCallError, SimulationError):
+            # Result marshaling failed with the CPU still in the
+            # callee's context and the caller's frame still on its call
+            # stack.  Unwind through the normal return transition so the
+            # caller world is left exactly as before the call, then let
+            # the error propagate.
+            self.machine.hypervisor.worlds.world_call(
+                cpu, delivered_caller_wid)
+            cpu.charge("world_restore_state")
+            saved = caller.call_stack.pop()
+            cpu.regs.restore(saved["regs"])
+            if caller.kernel is not None and \
+                    saved["kernel_current"] is not None:
+                caller.kernel.current = saved["kernel_current"]
+            raise
+        if not result_in_regs:
             cpu.charge("world_param_setup")
             channel.write_payload(cpu, self.machine.memory, result_wire)
 
@@ -248,17 +270,25 @@ class WorldCallRuntime:
                     "(not supported; Section 5.3)")
         callee.busy = True
         saved_current = None
+        fast = fastpath.enabled() and not cpu.trace.enabled
         try:
             # Section 5.3: make the callee OS aware of the world switch
             # (skipped, like authorization, in minimal mode).
+            fused_entry = False
             if callee.kernel is not None:
                 saved_current = callee.kernel.current
                 if callee.process is not None:
                     callee.kernel.current = callee.process
-                if authorize:
+                if authorize and fast:
+                    fused.world_call_callee_entry(
+                        cpu.cost_model,
+                        sched_reload=_SCHED_RELOAD).apply(cpu.perf)
+                    fused_entry = True
+                elif authorize:
                     cpu.perf.charge("sched_reload", _SCHED_RELOAD)
             if authorize:
-                cpu.charge("world_authorize")
+                if not fused_entry:
+                    cpu.charge("world_authorize")
                 try:
                     callee.policy.check(caller_wid)
                 except AuthorizationDenied as denied:

@@ -16,9 +16,22 @@ from repro.guestos.fs.inode import Errno, Inode, InodeType
 MAX_SYMLINK_DEPTH = 8
 
 
-def split_path(path: str) -> List[str]:
-    """Split an absolute path into components ('/a//b/' -> ['a', 'b'])."""
-    return [part for part in path.split("/") if part]
+_split_cache: Dict[str, tuple] = {}
+
+
+def split_path(path: str) -> tuple:
+    """Split an absolute path into components ('/a//b/' -> ('a', 'b')).
+
+    Memoized: benchmark workloads resolve the same handful of paths
+    thousands of times.  The tuple result must not be mutated.
+    """
+    parts = _split_cache.get(path)
+    if parts is None:
+        if len(_split_cache) > 65536:
+            _split_cache.clear()
+        parts = _split_cache[path] = tuple(
+            part for part in path.split("/") if part)
+    return parts
 
 
 class VFS:
@@ -27,6 +40,7 @@ class VFS:
     def __init__(self, root_fs, cpu) -> None:
         self.cpu = cpu
         self._mounts: Dict[str, object] = {"/": root_fs}
+        self._fs_cache: Dict[str, Tuple[object, tuple]] = {}
 
     def mount(self, mount_point: str, fs) -> None:
         """Mount ``fs`` at ``mount_point`` (absolute, normalized)."""
@@ -34,13 +48,21 @@ class VFS:
             raise GuestOSError(Errno.EINVAL, "mount point must be absolute")
         normalized = "/" + "/".join(split_path(mount_point))
         self._mounts[normalized] = fs
+        self._fs_cache.clear()
 
     def mounts(self) -> Dict[str, object]:
         """The current mount table (read-only view)."""
         return dict(self._mounts)
 
-    def _fs_for(self, path: str) -> Tuple[object, List[str]]:
-        """Longest-prefix mount match -> (fs, remaining components)."""
+    def _fs_for(self, path: str) -> Tuple[object, tuple]:
+        """Longest-prefix mount match -> (fs, remaining components).
+
+        Memoized per path; the cache is dropped whenever the mount
+        table changes.
+        """
+        hit = self._fs_cache.get(path)
+        if hit is not None:
+            return hit
         parts = split_path(path)
         best = self._mounts["/"]
         best_len = 0
@@ -49,7 +71,8 @@ class VFS:
             if len(mp_parts) > best_len and parts[:len(mp_parts)] == mp_parts:
                 best = fs
                 best_len = len(mp_parts)
-        return best, parts[best_len:]
+        result = self._fs_cache[path] = (best, parts[best_len:])
+        return result
 
     def resolve(self, path: str, *, follow_symlinks: bool = True,
                 _depth: int = 0) -> Tuple[object, Inode]:
@@ -60,7 +83,8 @@ class VFS:
             raise GuestOSError(Errno.EINVAL, f"path must be absolute: {path}")
         fs, parts = self._fs_for(path)
         node = fs.root()
-        walked: List[str] = split_path(path)[:len(split_path(path)) - len(parts)]
+        full = split_path(path)
+        walked: List[str] = list(full[:len(full) - len(parts)])
         for i, part in enumerate(parts):
             self.cpu.charge("path_component")
             node = fs.lookup(node, part)

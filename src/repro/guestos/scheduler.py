@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.errors import SimulationError
 from repro.guestos.process import Process
@@ -14,16 +14,21 @@ class Scheduler:
     def __init__(self, kernel) -> None:
         self.kernel = kernel
         self.runqueue: List[Process] = []
+        #: ids of queued processes, so enqueue/dequeue membership checks
+        #: stay O(1) as benchmark loops spawn thousands of processes.
+        self._queued: Set[int] = set()
         self.switches = 0
 
     def enqueue(self, proc: Process) -> None:
         """Add a process to the run queue."""
-        if proc not in self.runqueue:
+        if id(proc) not in self._queued:
+            self._queued.add(id(proc))
             self.runqueue.append(proc)
 
     def dequeue(self, proc: Process) -> None:
         """Remove a process from the run queue."""
-        if proc in self.runqueue:
+        if id(proc) in self._queued:
+            self._queued.discard(id(proc))
             self.runqueue.remove(proc)
 
     def pick_next(self, current: Optional[Process]) -> Optional[Process]:
@@ -39,7 +44,8 @@ class Scheduler:
                     return proc
         return candidates[0]
 
-    def switch_to(self, proc: Process, detail: str = "") -> None:
+    def switch_to(self, proc: Process, detail: str = "",
+                  charge: bool = True) -> None:
         """Context-switch the CPU to ``proc`` (must be called at CPL 0)."""
         kernel = self.kernel
         if not proc.alive:
@@ -49,7 +55,7 @@ class Scheduler:
             return
         kernel.cpu.context_switch(
             proc.page_table, detail or f"{getattr(previous, 'name', '?')} "
-            f"-> {proc.name}")
+            f"-> {proc.name}", charge=charge)
         if previous is not None and previous.alive:
             previous.state = "ready"
         proc.state = "running"

@@ -26,6 +26,9 @@ class SyscallTable:
     def __init__(self, kernel) -> None:
         self.kernel = kernel
         self._handlers: Dict[str, Callable] = {}
+        #: name -> (handler, charge kind, handler-body cost), filled on
+        #: first dispatch of each syscall.
+        self._dispatch_cache: Dict[str, tuple] = {}
         for name in dir(self):
             if name.startswith("sys_"):
                 self._handlers[name[4:]] = getattr(self, name)
@@ -39,10 +42,16 @@ class SyscallTable:
 
     def invoke(self, proc: Process, name: str, *args, **kwargs):
         """Charge the handler-body work and run the handler."""
-        handler = self._handlers.get(name)
-        if handler is None:
-            raise GuestOSError(Errno.ENOSYS, f"unimplemented syscall {name}")
-        self.kernel.cpu.charge(f"sys_{name}", syscall_work(name))
+        entry = self._dispatch_cache.get(name)
+        if entry is None:
+            handler = self._handlers.get(name)
+            if handler is None:
+                raise GuestOSError(Errno.ENOSYS,
+                                   f"unimplemented syscall {name}")
+            entry = self._dispatch_cache[name] = (
+                handler, f"sys_{name}", syscall_work(name))
+        handler, kind, work = entry
+        self.kernel.cpu.charge(kind, work)
         return handler(proc, *args, **kwargs)
 
     # ------------------------------------------------------------------

@@ -139,10 +139,21 @@ class CostModel:
     host_bridge: Cost = Cost(900, 3500)         # host-side packet relay
     xml_marshal: Cost = Cost(6000, 16500)       # XML encode or decode one RPC
 
+    def __post_init__(self) -> None:
+        # Per-instance memo for copy(): benchmarks charge the same copy
+        # sizes millions of times.  The dataclass is frozen, so the
+        # cache is attached via object.__setattr__; Cost is immutable,
+        # making the memoized values safe to share.
+        object.__setattr__(self, "_copy_cache", {})
+
     def copy(self, nbytes: int) -> Cost:
         """Cost of copying ``nbytes`` bytes (rounded up to 16-byte units)."""
-        units = max(1, (nbytes + 15) // 16) if nbytes > 0 else 0
-        return self.copy_per_byte_x16.scaled(units)
+        cached = self._copy_cache.get(nbytes)
+        if cached is None:
+            units = max(1, (nbytes + 15) // 16) if nbytes > 0 else 0
+            cached = self.copy_per_byte_x16.scaled(units)
+            self._copy_cache[nbytes] = cached
+        return cached
 
     def with_overrides(self, **kwargs: Cost) -> "CostModel":
         """Return a copy of this model with some fields replaced."""

@@ -25,6 +25,7 @@ from repro.errors import (
 from repro.hw.costs import Cost, CostModel, HardwareFeatures
 from repro.hw.ept import EPT, EPTPList
 from repro.hw.idt import IDT, InterruptState
+from repro.hw import mem as _hwmem
 from repro.hw.paging import PageTable
 from repro.hw.perf import PerfCounters
 from repro.hw.registers import RegisterFile
@@ -58,6 +59,11 @@ VMFUNC_MANAGE_WTC = 0x2
 #: Register through which the hardware passes the caller's WID.
 WID_REGISTER = "rdi"
 
+#: Plain-int ring values for the hot transition paths (IntEnum access
+#: costs an attribute lookup + conversion per call).
+_RING_KERNEL = int(Ring.KERNEL)
+_RING_USER = int(Ring.USER)
+
 
 class CPU:
     """One simulated processor core."""
@@ -79,6 +85,9 @@ class CPU:
         self.regs = RegisterFile()
         self.interrupts = InterruptState()
         self.tlb = TLB(tagged=True)
+        #: Software memo of successful page walks (wall-clock only);
+        #: distinct from the flush-accounting ``tlb`` model.
+        self._xlat_cache: dict = {}
         self.perf = PerfCounters()
         self.trace = TransitionTrace()
 
@@ -151,111 +160,177 @@ class CPU:
     # native ring transitions
     # ------------------------------------------------------------------
 
-    def syscall_trap(self, detail: str = "") -> None:
-        """SYSCALL: user -> kernel within the current address space."""
-        self.require_ring(int(Ring.USER), "syscall")
-        frm = self.world_label
-        self.ring = int(Ring.KERNEL)
-        self.transition("syscall_trap", frm, self.world_label, detail)
+    def syscall_trap(self, detail: str = "", charge: bool = True) -> None:
+        """SYSCALL: user -> kernel within the current address space.
 
-    def sysret(self, detail: str = "") -> None:
+        ``charge=False`` performs the ring switch without charging (the
+        caller is applying the cost as part of a fused batch).
+        """
+        if self.ring != _RING_USER:
+            self.require_ring(_RING_USER, "syscall")
+        if self.trace.enabled:
+            frm = self.world_label
+            self.ring = _RING_KERNEL
+            self.transition("syscall_trap", frm, self.world_label, detail)
+        else:
+            self.ring = _RING_KERNEL
+            if charge:
+                self.perf.charge("syscall_trap", self.cost_model.syscall_trap)
+
+    def sysret(self, detail: str = "", charge: bool = True) -> None:
         """SYSRET: kernel -> user within the current address space."""
-        self.require_ring(int(Ring.KERNEL), "sysret")
-        frm = self.world_label
-        self.ring = int(Ring.USER)
-        self.transition("sysret", frm, self.world_label, detail)
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "sysret")
+        if self.trace.enabled:
+            frm = self.world_label
+            self.ring = _RING_USER
+            self.transition("sysret", frm, self.world_label, detail)
+        else:
+            self.ring = _RING_USER
+            if charge:
+                self.perf.charge("sysret", self.cost_model.sysret)
 
-    def iret_to_ring(self, ring: int, detail: str = "") -> None:
+    def iret_to_ring(self, ring: int, detail: str = "",
+                     charge: bool = True) -> None:
         """IRET-style return to an arbitrary ring (used by injectors)."""
-        self.require_ring(int(Ring.KERNEL), "iret")
-        frm = self.world_label
-        self.ring = int(ring)
-        self.transition("sysret", frm, self.world_label, detail or "iret")
+        self.require_ring(_RING_KERNEL, "iret")
+        if self.trace.enabled:
+            frm = self.world_label
+            self.ring = int(ring)
+            self.transition("sysret", frm, self.world_label,
+                            detail or "iret")
+        else:
+            self.ring = int(ring)
+            if charge:
+                self.perf.charge("sysret", self.cost_model.sysret)
 
     # ------------------------------------------------------------------
     # control registers, IDT, interrupt flag
     # ------------------------------------------------------------------
 
-    def write_cr3(self, page_table: PageTable, detail: str = "") -> None:
+    def write_cr3(self, page_table: PageTable, detail: str = "",
+                  charge: bool = True) -> None:
         """Load a new address space; privileged (CPL 0 only)."""
-        self.require_ring(int(Ring.KERNEL), "mov cr3")
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "mov cr3")
         self.page_table = page_table
         self.tlb.on_cr3_write(page_table.root)
-        self.charge("cr3_write")
-        if detail:
+        if charge:
+            self.perf.charge("cr3_write", self.cost_model.cr3_write)
+        if detail and self.trace.enabled:
             self.trace.record("cr3_write", self.world_label,
                               self.world_label, detail)
 
-    def install_idt(self, idt: IDT) -> None:
+    def install_idt(self, idt: IDT, charge: bool = True) -> None:
         """LIDT; privileged."""
-        self.require_ring(int(Ring.KERNEL), "lidt")
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "lidt")
         self.interrupts.install(idt)
-        self.charge("idt_switch")
+        if charge:
+            self.perf.charge("idt_switch", self.cost_model.idt_switch)
 
-    def cli(self) -> None:
+    def cli(self, charge: bool = True) -> None:
         """Disable interrupts; privileged."""
-        self.require_ring(int(Ring.KERNEL), "cli")
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "cli")
         self.interrupts.disable()
-        self.charge("int_toggle")
+        if charge:
+            self.perf.charge("int_toggle", self.cost_model.int_toggle)
 
-    def sti(self) -> None:
+    def sti(self, charge: bool = True) -> None:
         """Enable interrupts; privileged."""
-        self.require_ring(int(Ring.KERNEL), "sti")
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "sti")
         self.interrupts.enable()
-        self.charge("int_toggle")
+        if charge:
+            self.perf.charge("int_toggle", self.cost_model.int_toggle)
 
-    def deliver_irq(self, vector: int, detail: str = "") -> None:
+    def deliver_irq(self, vector: int, detail: str = "",
+                    charge: bool = True) -> None:
         """Vector an interrupt through the current IDT (to CPL 0)."""
         if not self.interrupts.interrupts_enabled:
             raise SimulationError(
                 f"IRQ {vector} delivered while interrupts are disabled")
-        frm = self.world_label
-        self.ring = int(Ring.KERNEL)
-        self.transition("irq_deliver", frm, self.world_label,
-                        detail or f"vector {vector}",
-                        cost=self.cost_model.irq_vector)
+        if self.trace.enabled:
+            frm = self.world_label
+            self.ring = _RING_KERNEL
+            self.transition("irq_deliver", frm, self.world_label,
+                            detail or f"vector {vector}",
+                            cost=self.cost_model.irq_vector)
+        else:
+            self.ring = _RING_KERNEL
+            if charge:
+                self.perf.charge("irq_deliver", self.cost_model.irq_vector)
 
-    def context_switch(self, page_table: PageTable, detail: str = "") -> None:
+    def context_switch(self, page_table: PageTable, detail: str = "",
+                       charge: bool = True) -> None:
         """In-kernel process context switch (scheduler path)."""
-        self.require_ring(int(Ring.KERNEL), "context switch")
-        label = self.world_label
-        self.page_table = page_table
-        self.tlb.on_cr3_write(page_table.root)
-        self._current_wid = None  # prefetch register reloads lazily
-        self.transition("context_switch", label, label, detail)
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "context switch")
+        if self.trace.enabled:
+            label = self.world_label
+            self.page_table = page_table
+            self.tlb.on_cr3_write(page_table.root)
+            self._current_wid = None  # prefetch register reloads lazily
+            self.transition("context_switch", label, label, detail)
+        else:
+            self.page_table = page_table
+            self.tlb.on_cr3_write(page_table.root)
+            self._current_wid = None
+            if charge:
+                self.perf.charge("context_switch",
+                                 self.cost_model.context_switch)
 
     # ------------------------------------------------------------------
     # VMX transitions (primitives; the hypervisor orchestrates them)
     # ------------------------------------------------------------------
 
-    def vmexit(self, reason: str, detail: str = "") -> None:
+    def vmexit(self, reason: str, detail: str = "",
+               charge: bool = True) -> None:
         """Guest -> host transition; saves guest state into the VMCS."""
         self.require_non_root("vm exit")
         if self.current_vmcs is None:
             raise SimulationError("vm exit with no current VMCS")
-        frm = self.world_label
         vmcs = self.current_vmcs
-        vmcs.save_guest(self)
-        vmcs.exit_reason = reason
-        vmcs.load_host(self)
-        self.transition("vmexit", frm, self.world_label,
-                        detail or reason)
+        if self.trace.enabled:
+            frm = self.world_label
+            vmcs.save_guest(self)
+            vmcs.exit_reason = reason
+            vmcs.load_host(self)
+            self.transition("vmexit", frm, self.world_label,
+                            detail or reason)
+        else:
+            vmcs.save_guest(self)
+            vmcs.exit_reason = reason
+            vmcs.load_host(self)
+            if charge:
+                self.perf.charge("vmexit", self.cost_model.vmexit)
 
-    def vmentry(self, vmcs: "VMCS", detail: str = "") -> None:
+    def vmentry(self, vmcs: "VMCS", detail: str = "",
+                charge: bool = True) -> None:
         """Host -> guest transition; loads guest state from the VMCS."""
         self.require_root("vm entry")
-        self.require_ring(int(Ring.KERNEL), "vm entry")
-        frm = self.world_label
-        vmcs.save_host(self)
-        vmcs.load_guest(self)
-        self.current_vmcs = vmcs
-        self.transition("vmentry", frm, self.world_label, detail)
+        if self.ring != _RING_KERNEL:
+            self.require_ring(_RING_KERNEL, "vm entry")
+        if self.trace.enabled:
+            frm = self.world_label
+            vmcs.save_host(self)
+            vmcs.load_guest(self)
+            self.current_vmcs = vmcs
+            self.transition("vmentry", frm, self.world_label, detail)
+        else:
+            vmcs.save_host(self)
+            vmcs.load_guest(self)
+            self.current_vmcs = vmcs
+            if charge:
+                self.perf.charge("vmentry", self.cost_model.vmentry)
 
     # ------------------------------------------------------------------
     # VMFUNC (fn 0) and the CrossOver extension (fns 0x1 / 0x2)
     # ------------------------------------------------------------------
 
-    def vmfunc(self, function: int, argument: int = 0) -> Optional[int]:
+    def vmfunc(self, function: int, argument: int = 0,
+               charge: bool = True) -> Optional[int]:
         """Execute VMFUNC.
 
         * fn 0x0 — EPTP switch (requires VT-x VMFUNC support; non-root
@@ -267,12 +342,12 @@ class CPU:
           because it carries an object payload.
         """
         if function == VMFUNC_EPT_SWITCH:
-            return self._vmfunc_ept_switch(argument)
+            return self._vmfunc_ept_switch(argument, charge)
         if function == VMFUNC_WORLD_CALL:
             return self._world_call(argument)
         raise VMFuncFault(f"unsupported VMFUNC index {function:#x}")
 
-    def _vmfunc_ept_switch(self, index: int) -> None:
+    def _vmfunc_ept_switch(self, index: int, charge: bool = True) -> None:
         if not self.features.vmfunc:
             raise InvalidOpcode("VMFUNC not supported by this processor")
         self.require_non_root("VMFUNC")
@@ -283,13 +358,22 @@ class CPU:
         target = self.eptp_list.get(index)
         if target is None:
             raise VMFuncFault(f"EPTP list slot {index} is empty")
-        frm = self.world_label
-        self.ept = target
-        if target.label:
-            self.vm_name = target.label
-        self.tlb.on_ept_switch(target.eptp)
-        self.transition("vmfunc_ept_switch", frm, self.world_label,
-                        f"eptp[{index}]")
+        if self.trace.enabled:
+            frm = self.world_label
+            self.ept = target
+            if target.label:
+                self.vm_name = target.label
+            self.tlb.on_ept_switch(target.eptp)
+            self.transition("vmfunc_ept_switch", frm, self.world_label,
+                            f"eptp[{index}]")
+        else:
+            self.ept = target
+            if target.label:
+                self.vm_name = target.label
+            self.tlb.on_ept_switch(target.eptp)
+            if charge:
+                self.perf.charge("vmfunc_ept_switch",
+                                 self.cost_model.vmfunc_ept_switch)
 
     def _world_call(self, callee_wid: int) -> int:
         """The ``world_call`` datapath (Sections 3.3 and 5.1).
@@ -321,7 +405,8 @@ class CPU:
         if callee.ept is not None:
             callee.ept.translate(entry_gpa, execute=True)
 
-        frm = self.world_label
+        trace_on = self.trace.enabled
+        frm = self.world_label if trace_on else ""
         self.mode = Mode.ROOT if callee.host_mode else Mode.NON_ROOT
         self.ring = callee.ring
         self.ept = callee.ept
@@ -333,9 +418,10 @@ class CPU:
         self._current_wid = callee.wid
         self.regs.write("rip", callee.pc)
         self.regs.write(WID_REGISTER, caller.wid)
-        self.trace.record("world_call", frm, self.world_label,
-                          f"wid {caller.wid} -> {callee_wid}",
-                          self.cost_model.world_call_hw.cycles)
+        if trace_on:
+            self.trace.record("world_call", frm, self.world_label,
+                              f"wid {caller.wid} -> {callee_wid}",
+                              self.cost_model.world_call_hw.cycles)
         return caller.wid
 
     def _lookup_caller(self) -> WorldTableEntry:
@@ -383,21 +469,49 @@ class CPU:
 
     def translate(self, gva: int, *, write: bool = False,
                   execute: bool = False) -> int:
-        """Translate a virtual address in the current context to HPA."""
-        if self.page_table is None:
+        """Translate a virtual address in the current context to HPA.
+
+        Successful walks are memoized per (address space, EPT, page,
+        access intent); entries are validated against the global
+        mapping epoch, which every page-table/EPT mutation bumps.  The
+        walk charges nothing, so the memo changes wall-clock only — the
+        modelled TLB (:attr:`tlb`) is a separate flush-accounting
+        structure and is untouched.
+        """
+        table = self.page_table
+        if table is None:
             raise SimulationError("no page table loaded")
-        user = self.ring == int(Ring.USER)
-        gpa = self.page_table.translate(
-            gva, write=write, user=user, execute=execute)
+        user = self.ring == _RING_USER
+        # Module attribute read instead of the accessor: this lookup is
+        # the hottest path in the whole simulator.
+        epoch = _hwmem._mapping_epoch
+        # Page number and access intents packed into one int keeps the
+        # key a cheap 3-int tuple.
+        key = (table.root, self.ept.eptp if self.ept is not None else 0,
+               (gva >> 12 << 4) | (8 if write else 0) | (4 if user else 0)
+               | (2 if execute else 0)
+               | (1 if self.mode is Mode.NON_ROOT else 0))
+        hit = self._xlat_cache.get(key)
+        if hit is not None and hit[0] == epoch:
+            return hit[1] | (gva & 0xFFF)
+        gpa = table.translate(gva, write=write, user=user, execute=execute)
         if self.mode is Mode.NON_ROOT:
             if self.ept is None:
                 raise SimulationError("non-root mode with no EPT loaded")
-            return self.ept.translate(gpa, write=write, execute=execute)
-        return gpa
+            hpa = self.ept.translate(gpa, write=write, execute=execute)
+        else:
+            hpa = gpa
+        self._xlat_cache[key] = (epoch, hpa & ~0xFFF)
+        return hpa
 
     def read_virt(self, memory, gva: int, length: int,
                   charge: bool = True) -> bytes:
         """Read bytes at a virtual address in the current context."""
+        if length and (gva & 0xFFF) + length <= 4096:
+            data = memory.read(self.translate(gva), length)
+            if charge:
+                self.perf.charge("copy", self.cost_model.copy(length))
+            return data
         out = bytearray()
         addr = gva
         remaining = length
@@ -414,6 +528,11 @@ class CPU:
     def write_virt(self, memory, gva: int, data: bytes,
                    charge: bool = True) -> None:
         """Write bytes at a virtual address in the current context."""
+        if data and (gva & 0xFFF) + len(data) <= 4096:
+            memory.write(self.translate(gva, write=True), data)
+            if charge:
+                self.perf.charge("copy", self.cost_model.copy(len(data)))
+            return
         addr = gva
         view = memoryview(data)
         while view:

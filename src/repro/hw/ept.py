@@ -9,23 +9,30 @@ pointers set up by the hypervisor, indexable by the guest via
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.errors import EPTViolation, SimulationError
-from repro.hw.mem import page_number, page_offset, PAGE_SIZE
+from repro.hw.mem import page_number, page_offset, PAGE_MASK, PAGE_SIZE
+from repro.hw.mem import bump_mapping_epoch
 
 _eptp_counter = itertools.count(0x8000)
 
 
-@dataclass(frozen=True)
 class EPTEntry:
-    """An EPT entry mapping one guest-physical page to a host frame."""
+    """An EPT entry mapping one guest-physical page to a host frame.
 
-    hpa: int
-    readable: bool = True
-    writable: bool = True
-    executable: bool = True
+    Treated as immutable: entries are shared between EPTs
+    (``clone_mappings``), so never mutate one in place — remap instead.
+    """
+
+    __slots__ = ("hpa", "readable", "writable", "executable")
+
+    def __init__(self, hpa: int, readable: bool = True, writable: bool = True,
+                 executable: bool = True) -> None:
+        self.hpa = hpa
+        self.readable = readable
+        self.writable = writable
+        self.executable = executable
 
     def permits(self, *, write: bool, execute: bool) -> bool:
         """Whether the access is allowed by the EPT permissions."""
@@ -52,10 +59,11 @@ class EPT:
     def map(self, gpa: int, hpa: int, *, readable: bool = True,
             writable: bool = True, executable: bool = True) -> None:
         """Map the guest-physical page at ``gpa`` to the host frame at ``hpa``."""
-        if page_offset(gpa) or page_offset(hpa):
+        if (gpa | hpa) & PAGE_MASK:
             raise SimulationError("EPT map() requires page-aligned addresses")
-        self._entries[page_number(gpa)] = EPTEntry(
+        self._entries[gpa >> 12] = EPTEntry(
             hpa=hpa, readable=readable, writable=writable, executable=executable)
+        bump_mapping_epoch()
 
     def unmap(self, gpa: int) -> None:
         """Remove the mapping for the guest-physical page at ``gpa``."""
@@ -63,6 +71,7 @@ class EPT:
         if gfn not in self._entries:
             raise SimulationError(f"EPT unmap of unmapped GPA {gpa:#x}")
         del self._entries[gfn]
+        bump_mapping_epoch()
 
     def entry(self, gpa: int) -> Optional[EPTEntry]:
         """The EPT entry covering ``gpa``, or ``None``."""
@@ -98,6 +107,7 @@ class EPT:
         """Copy every mapping of ``other`` into this EPT."""
         for gfn, entry in other.entries():
             self._entries[gfn] = entry
+        bump_mapping_epoch()
 
 
 class EPTPList:

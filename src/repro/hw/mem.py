@@ -39,22 +39,54 @@ def is_page_aligned(addr: int) -> bool:
     return (addr & PAGE_MASK) == 0
 
 
-class Frame:
-    """One host physical page frame with byte content."""
+#: Global mapping-generation counter.  Every guest page-table or EPT
+#: mutation bumps it, so software translation caches (the CPU's host
+#: TLB model is separate) can validate entries with one comparison
+#: instead of re-walking.
+_mapping_epoch = 0
 
-    __slots__ = ("hpa", "data", "label")
+
+def mapping_epoch() -> int:
+    """The current global mapping generation."""
+    return _mapping_epoch
+
+
+def bump_mapping_epoch() -> None:
+    """Invalidate every cached translation machine-wide."""
+    global _mapping_epoch
+    _mapping_epoch += 1
+
+
+class Frame:
+    """One host physical page frame with byte content.
+
+    The backing bytearray is allocated on first touch: most frames
+    (process stacks, text pages) are mapped but never read or written,
+    and benchmark sweeps allocate tens of thousands of them.
+    """
+
+    __slots__ = ("hpa", "_data", "label")
 
     def __init__(self, hpa: int, label: str = "") -> None:
         self.hpa = hpa
-        self.data = bytearray(PAGE_SIZE)
+        self._data = None
         self.label = label
+
+    @property
+    def data(self) -> bytearray:
+        """The frame's content (zero-filled until first written)."""
+        if self._data is None:
+            self._data = bytearray(PAGE_SIZE)
+        return self._data
 
     def read(self, offset: int, length: int) -> bytes:
         """Read ``length`` bytes starting at ``offset`` within the frame."""
         if offset < 0 or offset + length > PAGE_SIZE:
             raise SimulationError(
                 f"frame read out of bounds: offset={offset} length={length}")
-        return bytes(self.data[offset:offset + length])
+        if self._data is None:
+            return bytes(length)
+        return bytes(self._data[offset:offset + length])
 
     def write(self, offset: int, data: bytes) -> None:
         """Write ``data`` starting at ``offset`` within the frame."""
@@ -113,6 +145,13 @@ class HostMemory:
 
     def read(self, hpa: int, length: int) -> bytes:
         """Read bytes from physical memory (may span frames)."""
+        offset = hpa & PAGE_MASK
+        if length and offset + length <= PAGE_SIZE:
+            frame = self._frames.get(hpa >> 12)
+            if frame is None:
+                raise SimulationError(
+                    f"access to unmapped host memory at {hpa:#x}")
+            return frame.read(offset, length)
         out = bytearray()
         addr = hpa
         remaining = length
@@ -127,6 +166,14 @@ class HostMemory:
 
     def write(self, hpa: int, data: bytes) -> None:
         """Write bytes to physical memory (may span frames)."""
+        offset = hpa & PAGE_MASK
+        if data and offset + len(data) <= PAGE_SIZE:
+            frame = self._frames.get(hpa >> 12)
+            if frame is None:
+                raise SimulationError(
+                    f"access to unmapped host memory at {hpa:#x}")
+            frame.write(offset, data)
+            return
         addr = hpa
         view = memoryview(data)
         while view:

@@ -16,11 +16,11 @@ an identical, deliberately shared ``root`` value.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Tuple
 
 from repro.errors import PageFault, SimulationError
-from repro.hw.mem import PAGE_SIZE, page_number, page_offset
+from repro.hw.mem import PAGE_MASK, PAGE_SIZE, page_number, page_offset
+from repro.hw.mem import bump_mapping_epoch
 
 _root_counter = itertools.count(0x1000)
 
@@ -30,14 +30,21 @@ def _fresh_root() -> int:
     return next(_root_counter) << 12
 
 
-@dataclass(frozen=True)
 class PTE:
-    """A page-table entry mapping one virtual page to a guest-physical page."""
+    """A page-table entry mapping one virtual page to a guest-physical page.
 
-    gpa: int
-    writable: bool = True
-    user: bool = True
-    executable: bool = False
+    Treated as immutable: entries are shared freely between page tables
+    (``clone_mappings``), so never mutate one in place — remap instead.
+    """
+
+    __slots__ = ("gpa", "writable", "user", "executable")
+
+    def __init__(self, gpa: int, writable: bool = True, user: bool = True,
+                 executable: bool = False) -> None:
+        self.gpa = gpa
+        self.writable = writable
+        self.user = user
+        self.executable = executable
 
     def permits(self, *, write: bool, user: bool, execute: bool) -> bool:
         """Whether an access with the given intents is allowed."""
@@ -64,10 +71,11 @@ class PageTable:
     def map(self, gva: int, gpa: int, *, writable: bool = True,
             user: bool = True, executable: bool = False) -> None:
         """Map the page containing ``gva`` to the page containing ``gpa``."""
-        if page_offset(gva) or page_offset(gpa):
+        if (gva | gpa) & PAGE_MASK:
             raise SimulationError("map() requires page-aligned addresses")
-        self._entries[page_number(gva)] = PTE(
+        self._entries[gva >> 12] = PTE(
             gpa=gpa, writable=writable, user=user, executable=executable)
+        bump_mapping_epoch()
 
     def unmap(self, gva: int) -> None:
         """Remove the mapping for the page containing ``gva``."""
@@ -75,6 +83,7 @@ class PageTable:
         if vpn not in self._entries:
             raise SimulationError(f"unmap of unmapped GVA {gva:#x}")
         del self._entries[vpn]
+        bump_mapping_epoch()
 
     def entry(self, gva: int) -> Optional[PTE]:
         """The PTE covering ``gva``, or ``None``."""
@@ -107,6 +116,8 @@ class PageTable:
             remaining -= chunk
 
     def clone_mappings(self, other: "PageTable") -> None:
-        """Copy every mapping of ``other`` into this table."""
-        for vpn, pte in other.entries():
-            self._entries[vpn] = pte
+        """Copy every mapping of ``other`` into this table.
+
+        PTEs are immutable, so sharing the entry objects is safe."""
+        self._entries.update(other._entries)
+        bump_mapping_epoch()

@@ -11,9 +11,20 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping
 
 from repro.hw.costs import Cost, us
+
+#: Event kinds that count as a *world switch* in the paper's terminology:
+#: any ring crossing, host/guest mode switch, or address-space switch.
+#: :meth:`PerfDelta.world_switches` sums these, and the fused-charging
+#: layer (:mod:`repro.hw.fused`) classifies its batched events with the
+#: same constant so the two can never drift.
+WORLD_SWITCH_KINDS = frozenset({
+    "syscall_trap", "sysret", "vmexit", "vmentry",
+    "vmfunc_ept_switch", "world_call", "world_call_hw",
+    "irq_deliver", "context_switch", "vm_schedule",
+})
 
 
 @dataclass
@@ -59,14 +70,10 @@ class PerfDelta:
         A *world switch* in the paper's terminology is any ring crossing,
         host/guest mode switch, or address-space switch: syscall traps and
         returns, VM exits and entries, VMFUNC EPT switches, world calls,
-        interrupt deliveries and context switches.
+        interrupt deliveries and context switches
+        (:data:`WORLD_SWITCH_KINDS`).
         """
-        kinds = (
-            "syscall_trap", "sysret", "vmexit", "vmentry",
-            "vmfunc_ept_switch", "world_call", "world_call_hw",
-            "irq_deliver", "context_switch", "vm_schedule",
-        )
-        return sum(self.events.get(k, 0) for k in kinds)
+        return sum(self.events.get(k, 0) for k in WORLD_SWITCH_KINDS)
 
 
 class PerfCounters:
@@ -82,6 +89,21 @@ class PerfCounters:
         self.instructions += cost.instructions
         self.cycles += cost.cycles
         self.events[kind] += 1
+
+    def charge_batch(self, cost: Cost, events: Mapping[str, int]) -> None:
+        """Apply a pre-summed cost plus its per-event counts in one call.
+
+        The fast-path engine fuses the fixed charge sequence of a call
+        shape (e.g. syscall trap + dispatch, or a full cross-VM round
+        trip) into a single aggregate ``cost`` with exact ``events``
+        counts — the counters end up bit-identical to charging each
+        primitive individually.
+        """
+        self.instructions += cost.instructions
+        self.cycles += cost.cycles
+        counters = self.events
+        for kind, count in events.items():
+            counters[kind] += count
 
     def snapshot(self) -> PerfSnapshot:
         """Copy the current counter values."""

@@ -103,10 +103,11 @@ class Hypervisor:
     # VM entry / exit orchestration
     # ------------------------------------------------------------------
 
-    def launch(self, cpu: CPU, vm: VirtualMachine, detail: str = "") -> None:
+    def launch(self, cpu: CPU, vm: VirtualMachine, detail: str = "",
+               charge: bool = True) -> None:
         """VM entry into ``vm`` (vmlaunch/vmresume)."""
-        cpu.vmentry(vm.vmcs, detail or f"enter {vm.name}")
-        self.injector.deliver_pending(cpu, vm)
+        cpu.vmentry(vm.vmcs, detail or f"enter {vm.name}", charge=charge)
+        self.injector.deliver_pending(cpu, vm, charge=charge)
 
     def exit_to_host(self, cpu: CPU, reason: str, detail: str = "") -> None:
         """Force a VM exit and charge the hypervisor's handling cost."""

@@ -28,14 +28,16 @@ class Injector:
         self.injected = 0
 
     def inject(self, cpu: CPU, vm: VirtualMachine, vector: int,
-               detail: str = "") -> None:
+               detail: str = "", charge: bool = True) -> None:
         """Queue ``vector`` on ``vm`` (hypervisor-side work is charged)."""
         cpu.require_root("virq injection")
-        cpu.charge("virq_inject")
+        if charge:
+            cpu.charge("virq_inject")
         vm.queue_virq(vector, detail)
         self.injected += 1
 
-    def deliver_pending(self, cpu: CPU, vm: VirtualMachine) -> int:
+    def deliver_pending(self, cpu: CPU, vm: VirtualMachine,
+                        charge: bool = True) -> int:
         """Deliver every queued virq through the guest IDT.
 
         Must be called with the CPU already inside ``vm`` (after a VM
@@ -48,7 +50,7 @@ class Injector:
                 return delivered
             vector, detail = item
             prior_ring = cpu.ring
-            cpu.deliver_irq(vector, detail)
+            cpu.deliver_irq(vector, detail, charge=charge)
             delivered += 1
             handler = None
             if cpu.interrupts.idt is not None:
@@ -57,4 +59,4 @@ class Injector:
                 handler(vector)
             # IRET back to the interrupted privilege level.
             if cpu.ring != prior_ring:
-                cpu.iret_to_ring(prior_ring, "irq return")
+                cpu.iret_to_ring(prior_ring, "irq return", charge=charge)

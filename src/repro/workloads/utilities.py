@@ -18,6 +18,7 @@ the guest-native column near the paper's.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List
 
 from repro.errors import GuestOSError
@@ -45,6 +46,29 @@ USER_COMPUTE = {
 }
 
 
+@lru_cache(maxsize=8)
+def _utmp_blob(entries: int) -> bytes:
+    """The synthetic /var/run/utmp content for a session count.
+
+    Every machine in a sweep is populated identically, so the blob is
+    built once per scale and shared (host-level memoization only: the
+    simulated write into the inode is unchanged)."""
+    records = []
+    for i in range(entries):
+        user = f"user{i % 37:02d}"
+        records.append(
+            f"{user:<8} pts/{i % 64:<3} 2015-06-13 09:{i % 60:02d}\n".encode())
+    return b"".join(records)
+
+
+@lru_cache(maxsize=8)
+def _words_blob(words_kib: int) -> bytes:
+    """The synthetic /usr/share/dict/words content for a size scale."""
+    line = b"abcdefgh%05d\n"
+    count = words_kib * 1024 // len(line % 0)
+    return b"".join(line % i for i in range(count))
+
+
 def prepare_inspection_environment(kernel: Kernel,
                                    scales: Dict[str, int] = DEFAULT_SCALES
                                    ) -> None:
@@ -63,9 +87,7 @@ def prepare_inspection_environment(kernel: Kernel,
     utmp = kernel.rootfs.lookup(run, "utmp")
     assert utmp.data is not None
     del utmp.data[:]
-    for i in range(scales["utmp_entries"]):
-        user = f"user{i % 37:02d}"
-        utmp.data += f"{user:<8} pts/{i % 64:<3} 2015-06-13 09:{i % 60:02d}\n".encode()
+    utmp.data += _utmp_blob(scales["utmp_entries"])
 
     usr = kernel.rootfs.lookup(root, "usr")
     share = kernel.rootfs.lookup(usr, "share")
@@ -73,9 +95,7 @@ def prepare_inspection_environment(kernel: Kernel,
     words = kernel.rootfs.lookup(dictdir, "words")
     assert words.data is not None
     del words.data[:]
-    line = b"abcdefgh%05d\n"
-    count = scales["words_kib"] * 1024 // len(line % 0)
-    words.data += b"".join(line % i for i in range(count))
+    words.data += _words_blob(scales["words_kib"])
 
     bindir = kernel.rootfs.lookup(root, "bin")
     assert bindir.children is not None

@@ -1,0 +1,76 @@
+"""Caller-state unwinding when result marshaling fails mid-call.
+
+Before the fix, a handler result that could not be marshaled (no
+channel for an oversized payload, or an unmarshalable type) raised with
+the CPU still in the *callee's* context and the caller's frame still on
+its call stack — wedging the caller world for every later call.
+"""
+
+import pytest
+
+from repro.core.call import WorldCallRuntime
+from repro.core.world import WorldRegistry
+from repro.errors import SimulationError, WorldCallError
+from repro.hw.costs import FEATURES_CROSSOVER
+from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+
+class Harness:
+    def __init__(self, handler, *, channel_pages=0):
+        (self.machine, self.vm1, self.k1,
+         self.vm2, self.k2) = build_two_vm_machine(
+            features=FEATURES_CROSSOVER)
+        self.registry = WorldRegistry(self.machine)
+        self.runtime = WorldCallRuntime(self.machine, self.registry)
+        enter_vm_kernel(self.machine, self.vm1)
+        self.caller = self.registry.create_kernel_world(self.k1)
+        enter_vm_kernel(self.machine, self.vm2)
+        self.callee = self.registry.create_kernel_world(self.k2,
+                                                        handler=handler)
+        enter_vm_kernel(self.machine, self.vm1)
+        if channel_pages:
+            self.runtime.setup_channel(self.caller, self.callee,
+                                       pages=channel_pages)
+        self.machine.cpu.write_cr3(self.k1.master_page_table)
+
+    def call(self, *payload):
+        return self.runtime.call(self.caller, self.callee.wid,
+                                 tuple(payload))
+
+
+class TestResultMarshalUnwind:
+    def test_oversized_result_without_channel_unwinds(self):
+        h = Harness(lambda request: "x" * 4096)
+        with pytest.raises(WorldCallError, match="needs a channel"):
+            h.call("big")
+        assert h.caller.call_stack == []
+        assert h.caller.matches_cpu(h.machine.cpu)
+        assert not h.callee.matches_cpu(h.machine.cpu)
+
+    def test_unmarshalable_result_unwinds(self):
+        h = Harness(lambda request: object(), channel_pages=4)
+        with pytest.raises(SimulationError, match="cannot marshal"):
+            h.call("opaque")
+        assert h.caller.call_stack == []
+        assert h.caller.matches_cpu(h.machine.cpu)
+
+    def test_caller_still_usable_after_failed_call(self):
+        state = {"fail": True}
+
+        def handler(request):
+            if state["fail"]:
+                return "x" * 4096
+            return ("ok",)
+
+        h = Harness(handler)
+        with pytest.raises(WorldCallError):
+            h.call("first")
+        state["fail"] = False
+        assert h.call("second") == ("ok",)
+        assert h.runtime.calls_completed == 1
+
+    def test_callee_not_left_busy(self):
+        h = Harness(lambda request: object(), channel_pages=4)
+        with pytest.raises(SimulationError):
+            h.call("opaque")
+        assert not h.callee.busy

@@ -1,0 +1,147 @@
+"""Property-style round-trip tests for the marshaling convention.
+
+The fast-path marshaling cache must be invisible: for every payload,
+``decode(encode(v)) == v`` with the cache on, off, and warm, and the
+wire bytes must be identical either way.
+"""
+
+import pytest
+
+from repro.core import convention, fastpath
+from repro.errors import GuestOSError, SimulationError
+from repro.guestos.fs.inode import InodeType, StatResult
+
+
+def _stat(ino=7):
+    return StatResult(ino=ino, type=InodeType.FILE, mode=0o600, uid=3,
+                      gid=4, size=1234, nlink=2, atime=1, mtime=2, ctime=3)
+
+
+#: Payloads exercising every tagged type in nested positions.
+PAYLOADS = [
+    None, True, False, 0, 1, -1, 2 ** 63, 3.25, -0.0, "", "text",
+    "uniécode", b"", b"\x00\x01\xfe", (), (1,), ((1, 2), (3, (4,))),
+    [1, 2, 3], [[], [[]]], {}, {"k": "v"},
+    _stat(),
+    [_stat(1), _stat(2)],
+    {"stat": _stat(), "errs": [GuestOSError(2, "enoent")]},
+    ("mixed", [_stat(9), b"raw", {"deep": (GuestOSError(13, "eacces"),)}]),
+    (("t", ("u", ("p", ("l", "e"))))),
+    {"empty-ish": [None, (), [], {}, "", b""]},
+]
+
+
+def _eq(a, b):
+    """Equality that also distinguishes GuestOSError payloads."""
+    if isinstance(a, GuestOSError):
+        return (isinstance(b, GuestOSError) and a.errno == b.errno
+                and a.message == b.message)
+    if isinstance(a, (list, tuple)):
+        return (type(a) is type(b) and len(a) == len(b)
+                and all(_eq(x, y) for x, y in zip(a, b)))
+    if isinstance(a, dict):
+        return (isinstance(b, dict) and a.keys() == b.keys()
+                and all(_eq(v, b[k]) for k, v in a.items()))
+    return type(a) is type(b) and a == b
+
+
+class TestRoundTripProperty:
+    @pytest.mark.parametrize("value", PAYLOADS)
+    def test_round_trip_fast(self, value):
+        with fastpath.scoped(True):
+            assert _eq(convention.decode(convention.encode(value)), value)
+
+    @pytest.mark.parametrize("value", PAYLOADS)
+    def test_round_trip_slow(self, value):
+        with fastpath.scoped(False):
+            assert _eq(convention.decode(convention.encode(value)), value)
+
+    @pytest.mark.parametrize("value", PAYLOADS)
+    def test_wire_bytes_identical_fast_vs_slow(self, value):
+        convention.clear_caches()
+        with fastpath.scoped(False):
+            slow_wire = convention.encode(value)
+        with fastpath.scoped(True):
+            cold = convention.encode(value)
+            warm = convention.encode(value)
+        assert slow_wire == cold == warm
+
+    @pytest.mark.parametrize("value", PAYLOADS)
+    def test_round_trip_warm_cache(self, value):
+        convention.clear_caches()
+        with fastpath.scoped(True):
+            first = convention.decode(convention.encode(value))
+            second = convention.decode(convention.encode(value))
+        assert _eq(first, value) and _eq(second, value)
+
+
+class TestScalarTypeFidelity:
+    @pytest.mark.parametrize("a,b", [(1, True), (0, False), (1, 1.0)])
+    def test_equal_hashing_scalars_stay_distinct(self, a, b):
+        """1, True and 1.0 hash equal; the cache must not mix them."""
+        convention.clear_caches()
+        with fastpath.scoped(True):
+            for v in (a, b, a, b):
+                decoded = convention.decode(convention.encode(v))
+                assert type(decoded) is type(v) and decoded == v
+
+    def test_enum_rejected_identically_both_paths(self):
+        """A bare enum is not marshalable; the fast path must reject it
+        exactly like the slow path (no scalar shortcut, no caching)."""
+        for on in (True, False):
+            with fastpath.scoped(on):
+                with pytest.raises(SimulationError, match="cannot marshal"):
+                    convention.encode(InodeType.FILE)
+
+    def test_bool_int_reprs_survive_caching(self):
+        """An int subclass like bool must keep its own wire form even
+        after the other type was cached under an equal-hashing key."""
+        convention.clear_caches()
+        with fastpath.scoped(True):
+            assert convention.encode((1,)) == b"(1,)"
+            assert convention.encode((True,)) == b"(True,)"
+            assert convention.encode((1.0,)) == b"(1.0,)"
+
+
+class TestCacheSafety:
+    def test_decoded_mutables_not_shared(self):
+        """Two decodes of the same wire list must not alias."""
+        wire = convention.encode([1, 2, 3])
+        with fastpath.scoped(True):
+            first = convention.decode(wire)
+            second = convention.decode(wire)
+        first.append(4)
+        assert second == [1, 2, 3]
+
+    def test_mutated_payload_reencodes_fresh(self):
+        """Encoding must track content, not object identity."""
+        with fastpath.scoped(True):
+            payload = (1, 2)
+            assert convention.encode(payload) == convention.encode((1, 2))
+            assert convention.encode((1, 3)) != convention.encode((1, 2))
+
+    def test_cache_stats_count_hits(self):
+        convention.clear_caches()
+        with fastpath.scoped(True):
+            convention.encode((b"abc", 1))
+            convention.encode((b"abc", 1))
+        assert convention.cache_stats["encode_hits"] >= 1
+
+    def test_cache_bounded(self):
+        convention.clear_caches()
+        with fastpath.scoped(True):
+            for i in range(convention._CACHE_MAX + 100):
+                convention.encode((b"pad", i))
+        assert len(convention._encode_cache) <= convention._CACHE_MAX
+
+
+class TestCorruptPayloads:
+    @pytest.mark.parametrize("wire", [
+        b"((((", b"", b"1 +", b"[1, 2", b"\xff\xfe", b"lambda: 1",
+        b"__import__('os')",
+    ])
+    def test_corrupt_wire_rejected_both_paths(self, wire):
+        for on in (True, False):
+            with fastpath.scoped(on):
+                with pytest.raises(SimulationError):
+                    convention.decode(wire)

@@ -1,0 +1,101 @@
+"""Fused cost charging: batches must equal step-by-step charging."""
+
+import pytest
+
+from repro.hw import fused
+from repro.hw.costs import Cost, DEFAULT_COST_MODEL
+from repro.hw.perf import WORLD_SWITCH_KINDS, PerfCounters
+
+
+def _charged(apply):
+    perf = PerfCounters()
+    apply(perf)
+    return perf
+
+
+class TestChargeBatch:
+    def test_batch_equals_sequential_charges(self):
+        copy32 = DEFAULT_COST_MODEL.copy(32)
+        seq = PerfCounters()
+        seq.charge("syscall_trap", DEFAULT_COST_MODEL.syscall_trap)
+        seq.charge("sysret", DEFAULT_COST_MODEL.sysret)
+        seq.charge("copy", copy32)
+        seq.charge("copy", copy32)
+        batch = PerfCounters()
+        total = (DEFAULT_COST_MODEL.syscall_trap + DEFAULT_COST_MODEL.sysret
+                 + copy32 + copy32)
+        batch.charge_batch(total, {"syscall_trap": 1, "sysret": 1,
+                                   "copy": 2})
+        assert seq.instructions == batch.instructions
+        assert seq.cycles == batch.cycles
+        assert dict(seq.events) == dict(batch.events)
+
+    def test_batch_accumulates_existing_events(self):
+        perf = PerfCounters()
+        perf.charge("vmexit", DEFAULT_COST_MODEL.vmexit)
+        perf.charge_batch(Cost(1, 2), {"vmexit": 2})
+        assert perf.events["vmexit"] == 3
+
+
+class TestFuse:
+    def test_fuse_sums_costs_and_counts(self):
+        record = fused.fuse(DEFAULT_COST_MODEL,
+                            ("cr3_write", ("int_toggle", 2), "idt_switch"))
+        expected = (DEFAULT_COST_MODEL.cr3_write
+                    + DEFAULT_COST_MODEL.int_toggle.scaled(2)
+                    + DEFAULT_COST_MODEL.idt_switch)
+        assert record.cost == expected
+        assert record.events == {"cr3_write": 1, "int_toggle": 2,
+                                 "idt_switch": 1}
+
+    def test_fuse_memoizes_per_model(self):
+        a = fused.fuse(DEFAULT_COST_MODEL, ("vmexit",))
+        b = fused.fuse(DEFAULT_COST_MODEL, ("vmexit",))
+        assert a is b
+
+    def test_world_switch_classification_reuses_perf_kinds(self):
+        record = fused.fuse(DEFAULT_COST_MODEL,
+                            ("vmexit", "vmentry", "idt_switch", "cr3_write"))
+        expected = sum(1 for k in ("vmexit", "vmentry", "idt_switch",
+                                   "cr3_write")
+                       if k in WORLD_SWITCH_KINDS)
+        assert record.world_switches == expected == 2
+
+    def test_apply_with_extra_cost(self):
+        record = fused.fuse(DEFAULT_COST_MODEL, (("int_toggle", 2),))
+        extra = DEFAULT_COST_MODEL.copy(160)
+        perf = _charged(lambda p: record.apply(p, extra=extra))
+        assert perf.cycles == record.cost.cycles + extra.cycles
+        assert perf.events["int_toggle"] == 2
+
+
+class TestShapes:
+    def test_syscall_entry_matches_sequential(self):
+        seq = PerfCounters()
+        for kind in ("user_wrapper", "syscall_trap", "syscall_dispatch"):
+            seq.charge(kind, getattr(DEFAULT_COST_MODEL, kind))
+        perf = _charged(fused.syscall_entry(DEFAULT_COST_MODEL).apply)
+        assert (perf.instructions, perf.cycles) == (seq.instructions,
+                                                    seq.cycles)
+        assert dict(perf.events) == dict(seq.events)
+
+    def test_vmexit_roundtrip_matches_sequential(self):
+        seq = PerfCounters()
+        for kind in ("vmexit", "vmexit_handle", "vmentry"):
+            seq.charge(kind, getattr(DEFAULT_COST_MODEL, kind))
+        perf = _charged(fused.vmexit_roundtrip(DEFAULT_COST_MODEL).apply)
+        assert dict(perf.events) == dict(seq.events)
+        assert perf.cycles == seq.cycles
+
+    def test_callee_entry_includes_sched_reload(self):
+        reload_cost = Cost(15, 50)
+        record = fused.world_call_callee_entry(DEFAULT_COST_MODEL,
+                                               sched_reload=reload_cost)
+        assert record.events == {"sched_reload": 1, "world_authorize": 1}
+        assert record.cost == reload_cost + DEFAULT_COST_MODEL.world_authorize
+
+    @pytest.mark.parametrize("install", [True, False])
+    def test_crossvm_enter_idt_variants(self, install):
+        record = fused.crossvm_enter(DEFAULT_COST_MODEL, install_idt=install)
+        assert record.events.get("idt_switch", 0) == (1 if install else 0)
+        assert record.events["vmfunc_ept_switch"] == 1

@@ -18,9 +18,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import telemetry
 from repro.analysis import experiments
 
 #: A unit of work: (runner name in CELL_RUNNERS, positional args).
@@ -29,13 +30,20 @@ CellSpec = Tuple[str, tuple]
 
 @dataclass
 class CellResult:
-    """One executed cell: its spec, value, and host-side timing."""
+    """One executed cell: its spec, value, and host-side timing.
+
+    When the sweep runs under a telemetry session, ``telemetry`` carries
+    the cell's own session (spans + metrics) in plain-dict form — the
+    same shape whether the cell ran in-process or in a worker — so the
+    parent can merge every cell's observability into one trace.
+    """
 
     runner: str
     args: tuple
     value: Any
     wall_seconds: float
     worker_pid: int
+    telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
 
 def default_workers() -> int:
@@ -48,13 +56,42 @@ def default_workers() -> int:
 
 
 def _execute_cell(spec: CellSpec) -> CellResult:
-    """Run one cell (in whatever process this lands in)."""
+    """Run one cell (in whatever process this lands in).
+
+    If a telemetry session is installed (inherited across ``fork`` in
+    pool workers), the cell runs under its *own* scoped session wrapped
+    in one ``cell:`` span, and ships that session back serialized — the
+    in-process and pooled paths produce the same merged telemetry.
+    """
     runner, args = spec
+    cell_telemetry: Optional[Dict[str, Any]] = None
     t0 = time.perf_counter()
-    value = experiments.CELL_RUNNERS[runner](*args)
+    if telemetry.enabled():
+        with telemetry.scoped(f"cell:{runner}") as session:
+            with session.tracer.span(f"cell:{runner}", category="cell",
+                                     runner=runner, args=repr(args)):
+                value = experiments.CELL_RUNNERS[runner](*args)
+        cell_telemetry = session.to_dict()
+    else:
+        value = experiments.CELL_RUNNERS[runner](*args)
     return CellResult(runner=runner, args=args, value=value,
                       wall_seconds=time.perf_counter() - t0,
-                      worker_pid=os.getpid())
+                      worker_pid=os.getpid(), telemetry=cell_telemetry)
+
+
+def _merge_cell_telemetry(cells: List[CellResult]) -> None:
+    """Absorb each cell's shipped-back session into the parent session
+    (per-worker span trees keep their worker pid in the Chrome export)."""
+    session = telemetry.current()
+    if session is None:
+        return
+    own_pid = os.getpid()
+    for cell in cells:
+        if cell.telemetry is None:
+            continue
+        session.absorb(cell.telemetry,
+                       pid=cell.worker_pid if cell.worker_pid != own_pid
+                       else None)
 
 
 def run_cells(specs: List[CellSpec], workers: Optional[int] = None
@@ -64,6 +101,13 @@ def run_cells(specs: List[CellSpec], workers: Optional[int] = None
     Results come back in spec order regardless of completion order, so
     merge functions see the same sequence the serial runners produce.
     """
+    cells = _run_cells_raw(specs, workers)
+    _merge_cell_telemetry(cells)
+    return cells
+
+
+def _run_cells_raw(specs: List[CellSpec], workers: Optional[int]
+                   ) -> List[CellResult]:
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(specs) <= 1:

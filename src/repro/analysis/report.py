@@ -15,9 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List
-
-from typing import Optional
+from typing import List, Optional
 
 from repro.analysis import experiments
 from repro.analysis.hops import compute_table3
@@ -255,7 +253,41 @@ def main(argv=None) -> int:
     parser.add_argument("--bench-seed-src", metavar="DIR", default=None,
                         help="also time the sweep against another source "
                         "tree (e.g. a seed checkout's src/)")
+    parser.add_argument("--telemetry", metavar="DIR", default=None,
+                        help="collect telemetry while the report runs and "
+                        "write trace/metrics/matrix artifacts to DIR")
     args = parser.parse_args(argv)
+    if args.telemetry:
+        from repro import telemetry
+        from repro.telemetry import export as telemetry_export
+
+        telemetry.install(telemetry.TelemetrySession("crossover-report"))
+        try:
+            rc = main_traced(args)
+        finally:
+            session = telemetry.uninstall()
+            assert session is not None
+            paths = telemetry_export.write_artifacts(session,
+                                                     args.telemetry)
+            print(f"telemetry artifacts: {', '.join(sorted(paths.values()))}",
+                  file=sys.stderr)
+        return rc
+    return _dispatch(args)
+
+
+def main_traced(args) -> int:
+    """The report body under an installed telemetry session: the whole
+    run lives in one root span so every crossing has a home."""
+    from repro import telemetry
+
+    session = telemetry.current()
+    assert session is not None
+    with session.tracer.span("crossover-report", category="report"):
+        return _dispatch(args)
+
+
+def _dispatch(args) -> int:
+    """Execute the parsed ``crossover-report`` request."""
     if args.bench:
         from repro.analysis.bench import run_bench
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.core import convention, fastpath
 from repro.core.binding import BindingTable
 from repro.core.channel import Channel, next_channel_gva
@@ -145,6 +146,23 @@ class WorldCallRuntime:
         evaluation").  It is also the right setting when authorization
         is delegated to the hardware binding table.
         """
+        session = telemetry._session
+        if session is None:
+            return self._call(caller, callee_wid, payload,
+                              authorize=authorize)
+        # Telemetry wraps the whole round trip in a span (modeled
+        # cycles + wall-clock); collection only reads the counters, so
+        # the modeled numbers are identical to the bare path.
+        session.on_world_call(caller.wid, callee_wid)
+        with session.tracer.span("world_call", category="core",
+                                 cpu=self.machine.cpu,
+                                 caller_wid=caller.wid,
+                                 callee_wid=callee_wid):
+            return self._call(caller, callee_wid, payload,
+                              authorize=authorize)
+
+    def _call(self, caller: World, callee_wid: int, payload: Any, *,
+              authorize: bool) -> Any:
         cpu = self.machine.cpu
         if not caller.matches_cpu(cpu):
             raise SimulationError(

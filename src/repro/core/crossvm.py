@@ -35,6 +35,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.core import convention, fastpath
 from repro.errors import ConfigurationError, GuestOSError, SimulationError
 from repro.hw import fused
@@ -205,6 +206,19 @@ class CrossVMSyscallMechanism:
 
     def _roundtrip(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
                    request_obj: Any, server: Callable[[Any], Any]) -> Any:
+        session = telemetry._session
+        if session is None:
+            return self._roundtrip_impl(from_vm, to_vm, request_obj, server)
+        # One span per Figure-4 round trip (covers the fused path too).
+        session.on_crossvm_roundtrip(from_vm.name, to_vm.name)
+        with session.tracer.span("crossvm_roundtrip", category="core",
+                                 cpu=self.machine.cpu,
+                                 frm=from_vm.name, to=to_vm.name):
+            return self._roundtrip_impl(from_vm, to_vm, request_obj, server)
+
+    def _roundtrip_impl(self, from_vm: VirtualMachine,
+                        to_vm: VirtualMachine, request_obj: Any,
+                        server: Callable[[Any], Any]) -> Any:
         state = self._pairs.get(self._key(from_vm, to_vm))
         if state is None:
             raise ConfigurationError(

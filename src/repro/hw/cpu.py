@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, TYPE_CHECKING
 
+from repro import telemetry as _telemetry
 from repro.errors import (
     GeneralProtectionFault,
     InvalidOpcode,
@@ -388,11 +389,20 @@ class CPU:
             raise InvalidOpcode(
                 "world_call requires the CrossOver extension")
         self.charge("world_call_hw")
+        # Telemetry observes the hardware datapath itself (not just the
+        # transition trace, which may be disabled on the fast path).
+        # Observation never charges: modeled counters stay bit-identical.
+        session = _telemetry._session
+        if session is not None:
+            session.metrics.counter("hw.world_call", cpu=self.cpu_id).inc()
         caller = self._lookup_caller()
         try:
             callee = self.wt_caches.lookup_callee(callee_wid)
         except WorldTableCacheMiss:
             self.charge("wt_miss_exception")
+            if session is not None:
+                session.metrics.counter("hw.wt_miss", cache="wt",
+                                        cpu=self.cpu_id).inc()
             raise
         if not callee.present:
             raise WorldNotPresent(f"world {callee_wid} is not present")
@@ -440,6 +450,10 @@ class CPU:
             return self.wt_caches.lookup_caller(self._context_key())
         except WorldTableCacheMiss:
             self.charge("wt_miss_exception")
+            session = _telemetry._session
+            if session is not None:
+                session.metrics.counter("hw.wt_miss", cache="iwt",
+                                        cpu=self.cpu_id).inc()
             raise
 
     def _context_key(self):

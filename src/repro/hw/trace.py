@@ -46,6 +46,15 @@ class TransitionTrace:
         self._seq = 0
         self._limit = limit
         self.enabled = True
+        # Telemetry hook: every recorded event is forwarded to the
+        # observer (one attribute read + None test when no session is
+        # installed).  Traces built while a telemetry session is
+        # installed attach automatically; telemetry.attach_machine()
+        # rebinds existing traces.  Imported locally: hw.trace is a
+        # leaf module and telemetry imports hw.perf.
+        from repro import telemetry
+        self.observer: Optional[Callable[[TransitionEvent], None]] = (
+            telemetry.transition_observer())
 
     def record(self, kind: str, frm: str, to: str, detail: str = "",
                cycles: int = 0) -> Optional[TransitionEvent]:
@@ -57,6 +66,9 @@ class TransitionTrace:
         event = TransitionEvent(self._seq, kind, frm, to, detail, cycles)
         self._seq += 1
         self._events.append(event)
+        observer = self.observer
+        if observer is not None:
+            observer(event)
         return event
 
     def clear(self) -> None:

@@ -10,8 +10,9 @@ IDT at the next VM entry.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Dict, Tuple
 
+from repro import telemetry
 from repro.hw.cpu import CPU
 from repro.hypervisor.vm import VirtualMachine
 
@@ -26,6 +27,10 @@ class Injector:
 
     def __init__(self) -> None:
         self.injected = 0
+        #: Per-vector injection counts (vector -> total), alongside the
+        #: global total; surfaced as the ``hypervisor.virq_injected``
+        #: counter family when a telemetry session is installed.
+        self.injected_by_vector: Dict[int, int] = {}
 
     def inject(self, cpu: CPU, vm: VirtualMachine, vector: int,
                detail: str = "", charge: bool = True) -> None:
@@ -35,6 +40,11 @@ class Injector:
             cpu.charge("virq_inject")
         vm.queue_virq(vector, detail)
         self.injected += 1
+        self.injected_by_vector[vector] = \
+            self.injected_by_vector.get(vector, 0) + 1
+        session = telemetry._session
+        if session is not None:
+            session.on_virq_injected(vector, vm.name)
 
     def deliver_pending(self, cpu: CPU, vm: VirtualMachine,
                         charge: bool = True) -> int:

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Set
+from typing import Any, Callable, ContextManager, Iterable, Optional, Set
 
+from repro import telemetry
 from repro.core.crossvm import CrossVMSyscallMechanism
 from repro.errors import ConfigurationError, GuestOSError, SimulationError
 from repro.guestos.kernel import Kernel, SyscallRedirector
@@ -66,12 +67,36 @@ class CrossWorldSystem:
         """Subclass hook for system-specific plumbing."""
         return None
 
+    def _telemetry_span(self, op: str) -> ContextManager:
+        """A span bracketing one redirected call.
+
+        Only called once the caller has seen an installed session (the
+        modeled counters are identical either way — telemetry never
+        charges; only host wall-clock differs).
+        """
+        session = telemetry._session
+        assert session is not None
+        session.metrics.counter("system.redirects", system=self.name,
+                                variant=self.variant).inc()
+        return session.tracer.span(
+            f"{self.name}.redirect", category="system",
+            cpu=self.machine.cpu, op=op, variant=self.variant)
+
     def redirect_syscall(self, name: str, *args, **kwargs) -> Any:
         """Execute one syscall in the remote world.
 
         Must be invoked from the local VM's kernel at CPL 0 (i.e. from
-        the syscall dispatcher).
+        the syscall dispatcher).  With no telemetry session installed
+        the cost over calling :meth:`_redirect` directly is one module
+        attribute read — this is the measured hot path.
         """
+        if telemetry._session is None:
+            return self._redirect(name, *args, **kwargs)
+        with self._telemetry_span(name):
+            return self._redirect(name, *args, **kwargs)
+
+    def _redirect(self, name: str, *args, **kwargs) -> Any:
+        """Subclass hook: the system's actual redirection path."""
         raise NotImplementedError
 
     # -- helpers shared by the optimized variants -----------------------

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro import telemetry
 from repro.core import convention
 from repro.errors import GuestOSError, SimulationError
 from repro.hw.cpu import Mode, Ring
@@ -48,7 +49,7 @@ class HyperShell(CrossWorldSystem):
     # the measured operation
     # ------------------------------------------------------------------
 
-    def redirect_syscall(self, name: str, *args, **kwargs) -> Any:
+    def _redirect(self, name: str, *args, **kwargs) -> Any:
         """One reverse-redirected syscall."""
         if self.optimized:
             self._require_local_kernel()
@@ -71,6 +72,12 @@ class HyperShell(CrossWorldSystem):
             raise SimulationError(
                 "the baseline shell runs in host userland; CPU is at "
                 f"{cpu.world_label}")
+        if telemetry._session is None:
+            return self._shell_call(cpu, name, *args, **kwargs)
+        with self._telemetry_span(name):
+            return self._shell_call(cpu, name, *args, **kwargs)
+
+    def _shell_call(self, cpu, name: str, *args, **kwargs) -> Any:
         # Shell's libc stub + trap into the host kernel (KVM).
         cpu.charge("user_wrapper")
         cpu.syscall_trap(name)

@@ -41,7 +41,7 @@ class Proxos(CrossWorldSystem):
     # the measured operation
     # ------------------------------------------------------------------
 
-    def redirect_syscall(self, name: str, *args, **kwargs) -> Any:
+    def _redirect(self, name: str, *args, **kwargs) -> Any:
         """One redirected syscall (from the private VM's kernel/libOS)."""
         if self.optimized:
             self._require_local_kernel()

@@ -38,7 +38,7 @@ class ShadowContext(CrossWorldSystem):
         self.remote_executor.name = "shadowctx-dummy"
         self.dummy = self.remote_executor
 
-    def redirect_syscall(self, name: str, *args, **kwargs) -> Any:
+    def _redirect(self, name: str, *args, **kwargs) -> Any:
         """One introspection syscall executed in the untrusted VM."""
         self._require_local_kernel()
         if self.optimized:

@@ -80,7 +80,7 @@ class Tahoma(CrossWorldSystem):
     # the measured operation (one browser-call round trip)
     # ------------------------------------------------------------------
 
-    def redirect_syscall(self, name: str, *args, **kwargs) -> Any:
+    def _redirect(self, name: str, *args, **kwargs) -> Any:
         """One browser-call: the manager performs ``name`` on behalf of
         the browser instance."""
         self._require_local_kernel()

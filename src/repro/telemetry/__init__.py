@@ -1,0 +1,188 @@
+"""``repro.telemetry``: the unified observability subsystem.
+
+One :class:`TelemetrySession` bundles the two collection surfaces:
+
+* a **metrics registry** (:mod:`repro.telemetry.registry`) — counters,
+  gauges, fixed-bucket histograms over *modeled* quantities, so a
+  snapshot of a deterministic workload is itself deterministic;
+* a **span tracer** (:mod:`repro.telemetry.spans`) — nested spans
+  carrying modeled cycles *and* host wall-clock, with every transition
+  trace event attached as an instant to the innermost open span.
+
+Exactly one session is installed process-wide at a time (mirroring
+:mod:`repro.core.fastpath`: the hot layers cannot afford per-call
+indirection).  Instrumented code checks ``telemetry._session`` — a
+module-attribute read plus a ``None`` test — and does *nothing else*
+while no session is installed, so:
+
+* with telemetry **off**, the hooks are a dead branch: fast-path
+  equivalence and all modeled counters are untouched;
+* with telemetry **on**, collection only ever *reads* the perf
+  counters and the trace — it never charges, so modeled instructions,
+  cycles, per-event counts and world switches stay **bit-identical**
+  to a telemetry-disabled run (only host wall-clock changes).
+
+Exporters (Chrome trace-event JSON, the world-switch crossing matrix,
+the metrics snapshot) live in :mod:`repro.telemetry.export`; the
+``crossover-trace`` CLI in :mod:`repro.telemetry.cli`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.hw.perf import WORLD_SWITCH_KINDS
+from repro.telemetry.registry import (Counter, Gauge, Histogram,
+                                      MetricsRegistry)
+from repro.telemetry.spans import Span, SpanEvent, Tracer
+
+__all__ = [
+    "TelemetrySession", "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "Tracer", "Span", "SpanEvent",
+    "current", "enabled", "install", "uninstall", "scoped",
+    "transition_observer", "attach_machine",
+]
+
+
+class TelemetrySession:
+    """All telemetry collected between :func:`install` and
+    :func:`uninstall`."""
+
+    def __init__(self, label: str = "telemetry") -> None:
+        self.label = label
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer()
+
+    # ------------------------------------------------------------------
+    # hook entry points (instrumented layers call these after checking
+    # a session is installed; none of them touch the perf counters)
+    # ------------------------------------------------------------------
+
+    def on_transition(self, event) -> None:
+        """One :class:`~repro.hw.trace.TransitionEvent` was recorded."""
+        metrics = self.metrics
+        metrics.counter("trace.events", kind=event.kind).inc()
+        metrics.counter("trace.matrix", frm=event.frm, to=event.to,
+                        kind=event.kind).inc()
+        if event.kind in WORLD_SWITCH_KINDS:
+            metrics.counter("trace.world_switches").inc()
+        self.tracer.instant(event.kind, seq=event.seq, frm=event.frm,
+                            to=event.to, detail=event.detail,
+                            cycles=event.cycles)
+
+    def on_fused(self, record) -> None:
+        """One :class:`~repro.hw.fused.FusedCharge` batch was applied."""
+        metrics = self.metrics
+        metrics.counter("fused.batches").inc()
+        metrics.counter("fused.world_switches").inc(record.world_switches)
+
+    def on_world_call(self, caller_wid: int, callee_wid: int) -> None:
+        """A :class:`~repro.core.call.WorldCallRuntime` call started."""
+        self.metrics.counter("core.world_calls", caller_wid=caller_wid,
+                             callee_wid=callee_wid).inc()
+
+    def on_crossvm_roundtrip(self, frm: str, to: str) -> None:
+        """A Figure-4 cross-VM round trip started."""
+        self.metrics.counter("core.crossvm_roundtrips", frm=frm,
+                             to=to).inc()
+
+    def on_virq_injected(self, vector: int, vm_name: str) -> None:
+        """The hypervisor injector queued one virtual interrupt."""
+        self.metrics.counter("hypervisor.virq_injected",
+                             vector=f"{vector:#04x}", vm=vm_name).inc()
+
+    # ------------------------------------------------------------------
+    # worker merge (parallel sweeps)
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form of the whole session (picklable/JSON-able)."""
+        return {
+            "label": self.label,
+            "metrics": self.metrics.snapshot(),
+            "spans": [s.to_dict() for s in self.tracer.roots],
+            "dropped": self.tracer.dropped,
+        }
+
+    def absorb(self, data: Dict[str, Any],
+               pid: Optional[int] = None) -> None:
+        """Merge a worker session's :meth:`to_dict` payload: counters
+        and histograms add into the registry, span trees are adopted
+        (tagged with the worker ``pid`` for the Chrome export)."""
+        self.metrics.merge_snapshot(data.get("metrics", {}))
+        for span_data in data.get("spans", []):
+            span = Span.from_dict(span_data)
+            if pid is not None:
+                for sub in span.iter_spans():
+                    if sub.pid is None:
+                        sub.pid = pid
+            self.tracer.adopt(span)
+        self.tracer.dropped += data.get("dropped", 0)
+
+
+# ---------------------------------------------------------------------------
+# the process-global session switch
+# ---------------------------------------------------------------------------
+
+_session: Optional[TelemetrySession] = None
+
+
+def current() -> Optional[TelemetrySession]:
+    """The installed session, or None."""
+    return _session
+
+
+def enabled() -> bool:
+    """Whether a telemetry session is installed."""
+    return _session is not None
+
+
+def install(session: Optional[TelemetrySession] = None) -> TelemetrySession:
+    """Install ``session`` (or a fresh one) as the process session."""
+    global _session
+    _session = session if session is not None else TelemetrySession()
+    return _session
+
+
+def uninstall() -> Optional[TelemetrySession]:
+    """Remove and return the installed session."""
+    global _session
+    session, _session = _session, None
+    return session
+
+
+@contextlib.contextmanager
+def scoped(label: str = "telemetry") -> Iterator[TelemetrySession]:
+    """Install a fresh session for a ``with`` block, restoring whatever
+    was installed before::
+
+        with telemetry.scoped("trace-proxos") as session:
+            run_workload()
+        export.write_artifacts(session, outdir)
+    """
+    global _session
+    previous = _session
+    _session = TelemetrySession(label)
+    try:
+        yield _session
+    finally:
+        _session = previous
+
+
+def transition_observer() -> Optional[Callable]:
+    """The installed session's transition hook (for
+    :class:`~repro.hw.trace.TransitionTrace` construction), or None."""
+    session = _session
+    return session.on_transition if session is not None else None
+
+
+def attach_machine(machine) -> None:
+    """(Re)bind every CPU trace of ``machine`` to the current session.
+
+    Machines built *while* a session is installed attach automatically;
+    this is for machines that predate the session (or to detach them
+    all when no session is installed)."""
+    observer = transition_observer()
+    for cpu in machine.cpus:
+        cpu.trace.observer = observer

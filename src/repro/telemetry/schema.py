@@ -1,0 +1,116 @@
+"""A dependency-free validator for the telemetry artifact schemas.
+
+CI validates the JSON that ``crossover-trace`` emits against the
+checked-in schema (``telemetry.schema.json`` next to this module)
+without installing ``jsonschema``: this implements the small JSON
+Schema subset those schemas use — ``type`` (single or list),
+``required``, ``properties``, ``additionalProperties`` (bool or
+schema), ``items``, ``enum`` and ``minimum``.
+
+Usage::
+
+    python -m repro.telemetry.schema metrics out/metrics.json
+    python -m repro.telemetry.schema chrome_trace out/trace.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Any, Dict, List
+
+#: The checked-in schema bundle: one named schema per artifact shape.
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__),
+                           "telemetry.schema.json")
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: (isinstance(v, (int, float))
+                         and not isinstance(v, bool)),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def validate(value: Any, schema: Dict[str, Any],
+             path: str = "$") -> List[str]:
+    """Validate ``value`` against ``schema``; returns error strings
+    (empty when valid)."""
+    errors: List[str] = []
+
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected {expected}, "
+                          f"got {type(value).__name__}")
+            return errors
+
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool) and value < schema["minimum"]:
+        errors.append(f"{path}: {value} < minimum {schema['minimum']}")
+
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            if key in properties:
+                errors.extend(validate(item, properties[key],
+                                       f"{path}.{key}"))
+            elif isinstance(additional, dict):
+                errors.extend(validate(item, additional, f"{path}.{key}"))
+            elif additional is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            errors.extend(validate(item, schema["items"], f"{path}[{i}]"))
+
+    return errors
+
+
+def load_schema(name: str) -> Dict[str, Any]:
+    """Load one named schema from the checked-in bundle."""
+    with open(SCHEMA_PATH) as fh:
+        bundle = json.load(fh)
+    if name not in bundle:
+        raise KeyError(f"no schema named {name!r}; "
+                       f"have {sorted(bundle)}")
+    return bundle[name]
+
+
+def validate_file(schema_name: str, json_path: str) -> List[str]:
+    """Validate a JSON file against a named checked-in schema."""
+    with open(json_path) as fh:
+        value = json.load(fh)
+    return validate(value, load_schema(schema_name))
+
+
+def main(argv=None) -> int:
+    """CLI: ``python -m repro.telemetry.schema <schema> <file.json>``."""
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 2:
+        print("usage: python -m repro.telemetry.schema "
+              "<metrics|chrome_trace|summary> <file.json>",
+              file=sys.stderr)
+        return 2
+    errors = validate_file(args[0], args[1])
+    for error in errors:
+        print(f"schema violation: {error}", file=sys.stderr)
+    if not errors:
+        print(f"{args[1]}: valid {args[0]} artifact")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.telemetry.registry import (DEFAULT_BUCKETS, MetricsRegistry,
+                                      label_key, series_name)
+
+
+class TestSeries:
+    def test_counter_accumulates_per_label_set(self):
+        reg = MetricsRegistry()
+        reg.counter("calls", system="Proxos").inc()
+        reg.counter("calls", system="Proxos").inc(2)
+        reg.counter("calls", system="Tahoma").inc()
+        assert reg.counter("calls", system="Proxos").value == 3
+        assert reg.counter("calls", system="Tahoma").value == 1
+        assert len(reg.family("calls")) == 2
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(4)
+        reg.gauge("depth").set(2)
+        assert reg.gauge("depth").value == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+
+    def test_label_key_is_order_insensitive(self):
+        assert (label_key({"a": 1, "b": "z"})
+                == label_key({"b": "z", "a": 1}))
+        assert series_name("m", label_key({"b": 2, "a": 1})) == "m{a=1,b=2}"
+
+
+class TestHistogram:
+    def test_percentiles_resolve_to_bucket_bounds(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(10, 100, 1000))
+        for v in (5, 5, 50, 50, 50, 500):
+            hist.observe(v)
+        assert hist.count == 6
+        assert hist.percentile(50) == 100      # rank 3 -> 100-bucket
+        assert hist.percentile(99) == 1000
+        assert hist.min == 5 and hist.max == 500
+        assert hist.mean == pytest.approx(660 / 6)
+
+    def test_overflow_bucket_reports_observed_max(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(10,))
+        hist.observe(99)
+        assert hist.percentile(50) == 99
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["overflow"] == 1
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+    def test_empty_percentile_is_none(self):
+        hist = MetricsRegistry().histogram("lat")
+        assert hist.percentile(50) is None
+
+
+class TestSnapshot:
+    def _populate(self, reg):
+        reg.counter("b", z=1).inc(2)
+        reg.counter("a").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", buckets=(1, 2)).observe(1)
+
+    def test_snapshot_deterministic_and_json_stable(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        self._populate(reg1)
+        self._populate(reg2)
+        s1, s2 = reg1.snapshot(), reg2.snapshot()
+        assert s1 == s2
+        assert (json.dumps(s1, sort_keys=True)
+                == json.dumps(s2, sort_keys=True))
+
+    def test_merge_adds_counters_and_histograms(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        self._populate(reg1)
+        self._populate(reg2)
+        reg2.histogram("h", buckets=(1, 2)).observe(100)   # overflow
+        reg1.merge_snapshot(reg2.snapshot())
+        snap = reg1.snapshot()
+        assert snap["counters"]["b{z=1}"] == 4
+        assert snap["counters"]["a"] == 2
+        assert snap["gauges"]["g"] == 1.5
+        h = snap["histograms"]["h"]
+        assert h["count"] == 3
+        assert h["overflow"] == 1
+        assert h["max"] == 100
+
+    def test_merge_bucket_mismatch_raises(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.histogram("h", buckets=(1, 2)).observe(1)
+        reg2.histogram("h", buckets=(5, 6)).observe(5)
+        with pytest.raises(ValueError):
+            reg1.merge_snapshot(reg2.snapshot())

@@ -255,11 +255,17 @@ def main(argv=None) -> int:
                         "tree (e.g. a seed checkout's src/)")
     parser.add_argument("--telemetry", metavar="DIR", default=None,
                         help="collect telemetry while the report runs and "
-                        "write trace/metrics/matrix artifacts to DIR")
+                        "write trace/metrics/matrix/profile artifacts "
+                        "to DIR")
+    parser.add_argument("--hotspots", type=int, default=10, metavar="N",
+                        help="rows in the top-N hotspot table printed "
+                        "with --telemetry (default: %(default)s; 0 "
+                        "disables)")
     args = parser.parse_args(argv)
     if args.telemetry:
         from repro import telemetry
         from repro.telemetry import export as telemetry_export
+        from repro.telemetry import profiler as telemetry_profiler
 
         telemetry.install(telemetry.TelemetrySession("crossover-report"))
         try:
@@ -269,6 +275,10 @@ def main(argv=None) -> int:
             assert session is not None
             paths = telemetry_export.write_artifacts(session,
                                                      args.telemetry)
+            if args.hotspots:
+                profile = telemetry_profiler.profile_session(session)
+                print()
+                print(profile.hotspot_table(args.hotspots))
             print(f"telemetry artifacts: {', '.join(sorted(paths.values()))}",
                   file=sys.stderr)
         return rc

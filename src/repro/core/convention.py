@@ -30,6 +30,10 @@ REGISTER_BUDGET = 48
 _STAT_TAG = "__stat__"
 _ERR_TAG = "__errno__"
 _BYTES_TAG = "__bytes__"
+#: Escape tag for user tuples whose first element collides with a tag.
+_LIT_TAG = "__lit__"
+
+_ALL_TAGS = frozenset({_STAT_TAG, _ERR_TAG, _BYTES_TAG, _LIT_TAG})
 
 
 def _to_wire(value: Any) -> Any:
@@ -44,7 +48,10 @@ def _to_wire(value: Any) -> Any:
     if isinstance(value, bytes):
         return (_BYTES_TAG, value.hex())
     if isinstance(value, tuple):
-        return tuple(_to_wire(v) for v in value)
+        wired = tuple(_to_wire(v) for v in value)
+        if wired and isinstance(wired[0], str) and wired[0] in _ALL_TAGS:
+            return (_LIT_TAG, wired)
+        return wired
     if isinstance(value, list):
         return [_to_wire(v) for v in value]
     if isinstance(value, dict):
@@ -58,6 +65,10 @@ def _to_wire(value: Any) -> Any:
 def _from_wire(value: Any) -> Any:
     """Inverse of :func:`_to_wire`."""
     if isinstance(value, tuple):
+        if len(value) == 2 and value[0] == _LIT_TAG:
+            # An escaped user tuple: un-wire its elements without
+            # re-sniffing the tuple itself as a tag.
+            return tuple(_from_wire(v) for v in value[1])
         if len(value) == 2 and value[0] == _STAT_TAG:
             f = value[1]
             return StatResult(ino=f[0], type=InodeType(f[1]), mode=f[2],

@@ -130,7 +130,8 @@ class CPU:
         if cost is None:
             cost = getattr(self.cost_model, kind)
         self.perf.charge(kind, cost)
-        self.trace.record(kind, frm, to, detail, cost.cycles)
+        self.trace.record(kind, frm, to, detail, cost.cycles,
+                          cost.instructions)
 
     def work(self, cycles: int, instructions: int, kind: str = "compute"
              ) -> None:
@@ -429,9 +430,10 @@ class CPU:
         self.regs.write("rip", callee.pc)
         self.regs.write(WID_REGISTER, caller.wid)
         if trace_on:
+            hw_cost = self.cost_model.world_call_hw
             self.trace.record("world_call", frm, self.world_label,
                               f"wid {caller.wid} -> {callee_wid}",
-                              self.cost_model.world_call_hw.cycles)
+                              hw_cost.cycles, hw_cost.instructions)
         return caller.wid
 
     def _lookup_caller(self) -> WorldTableEntry:

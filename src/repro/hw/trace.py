@@ -24,6 +24,7 @@ class TransitionEvent:
     ``to``      — destination world label, e.g. ``K(host)``.
     ``detail``  — free-form annotation (exit reason, WID, vector...).
     ``cycles``  — cycle charge attributed to the event itself.
+    ``instructions`` — instruction charge attributed to the event.
     """
 
     seq: int
@@ -32,6 +33,7 @@ class TransitionEvent:
     to: str
     detail: str = ""
     cycles: int = 0
+    instructions: int = 0
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         note = f" [{self.detail}]" if self.detail else ""
@@ -57,13 +59,15 @@ class TransitionTrace:
             telemetry.transition_observer())
 
     def record(self, kind: str, frm: str, to: str, detail: str = "",
-               cycles: int = 0) -> Optional[TransitionEvent]:
+               cycles: int = 0,
+               instructions: int = 0) -> Optional[TransitionEvent]:
         """Append one event (no-op while disabled or past the limit)."""
         if not self.enabled:
             return None
         if self._limit is not None and len(self._events) >= self._limit:
             return None
-        event = TransitionEvent(self._seq, kind, frm, to, detail, cycles)
+        event = TransitionEvent(self._seq, kind, frm, to, detail, cycles,
+                                instructions)
         self._seq += 1
         self._events.append(event)
         observer = self.observer

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, ContextManager, Iterable, Optional, Set
+from typing import (Any, Callable, ContextManager, Dict, Iterable, Optional,
+                    Set, Tuple)
 
 from repro import telemetry
 from repro.core.crossvm import CrossVMSyscallMechanism
@@ -20,6 +21,12 @@ LOCAL_ONLY_SYSCALLS = frozenset({
     "fork", "execve", "exit", "wait", "kill", "sched_yield", "brk",
     "mmap", "munmap",
 })
+
+#: Canonical profiler step labels shared by every system:
+#: ``(event kind, event detail) -> path-step frame``.  Each case-study
+#: module contributes its own table for its baseline path; unmapped
+#: events keep their raw kind as the step label (e.g. ``world_call``).
+STACK_STEPS: Dict[Tuple[str, str], str] = {}
 
 
 class CrossWorldSystem:
@@ -67,20 +74,20 @@ class CrossWorldSystem:
         """Subclass hook for system-specific plumbing."""
         return None
 
-    def _telemetry_span(self, op: str) -> ContextManager:
-        """A span bracketing one redirected call.
+    def _telemetry_span(self, op: str) -> Optional[ContextManager]:
+        """The session's span (or ``None``) bracketing one redirected
+        call.
 
         Only called once the caller has seen an installed session (the
         modeled counters are identical either way — telemetry never
-        charges; only host wall-clock differs).
+        charges; only host wall-clock differs).  The session decides
+        the span's shape: a tree span in the default mode, a sampled
+        ring record (or nothing) in the lightweight always-on mode —
+        the redirect is *counted* in every mode.
         """
         session = telemetry._session
         assert session is not None
-        session.metrics.counter("system.redirects", system=self.name,
-                                variant=self.variant).inc()
-        return session.tracer.span(
-            f"{self.name}.redirect", category="system",
-            cpu=self.machine.cpu, op=op, variant=self.variant)
+        return session.redirect_span(self, op)
 
     def redirect_syscall(self, name: str, *args, **kwargs) -> Any:
         """Execute one syscall in the remote world.
@@ -92,7 +99,10 @@ class CrossWorldSystem:
         """
         if telemetry._session is None:
             return self._redirect(name, *args, **kwargs)
-        with self._telemetry_span(name):
+        span = self._telemetry_span(name)
+        if span is None:
+            return self._redirect(name, *args, **kwargs)
+        with span:
             return self._redirect(name, *args, **kwargs)
 
     def _redirect(self, name: str, *args, **kwargs) -> Any:

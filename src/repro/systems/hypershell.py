@@ -29,6 +29,20 @@ from repro.hw.vmx import ExitReason
 from repro.systems.base import CrossWorldSystem
 
 
+#: Profiler step labels for the baseline INT3-helper path (Figure 2,
+#: case 2): ``(trace event kind, detail) -> canonical path step``.
+STACK_STEPS = {
+    ("vmexit", "hypershell redirect"): "vmcall-entry",
+    ("vmentry", "run helper"): "enter-guest",
+    ("syscall_trap", "helper resumes"): "helper-resume-trap",
+    ("sysret", "helper user"): "helper-user",
+    ("vmexit", "helper INT3"): "int3-exit",
+    ("vmentry", "inject syscall into helper"): "inject-syscall",
+    ("vmexit", "helper done"): "int3-done",
+    ("vmentry", "resume shell VM"): "resume-shell",
+}
+
+
 class HyperShell(CrossWorldSystem):
     """HyperShell: shell in ``local_vm`` (optimized) or host userland
     (baseline); the managed guest is ``remote_vm``."""
@@ -74,7 +88,10 @@ class HyperShell(CrossWorldSystem):
                 f"{cpu.world_label}")
         if telemetry._session is None:
             return self._shell_call(cpu, name, *args, **kwargs)
-        with self._telemetry_span(name):
+        span = self._telemetry_span(name)
+        if span is None:
+            return self._shell_call(cpu, name, *args, **kwargs)
+        with span:
             return self._shell_call(cpu, name, *args, **kwargs)
 
     def _shell_call(self, cpu, name: str, *args, **kwargs) -> Any:

@@ -26,6 +26,19 @@ from repro.hypervisor.injection import VECTOR_SYSCALL_REDIRECT
 from repro.systems.base import CrossWorldSystem
 
 
+#: Profiler step labels for the baseline hypercall path (Figure 2,
+#: case 1): ``(trace event kind, detail) -> canonical path step``.
+STACK_STEPS = {
+    ("vmexit", "proxos redirect"): "vmcall-entry",
+    ("vm_schedule", "run commodity OS"): "schedule-commodity",
+    ("vmentry", "deliver to commodity OS"): "inject-commodity",
+    ("syscall_trap", "proxos enqueue"): "enqueue-trap",
+    ("sysret", "run stub"): "wake-stub",
+    ("vmexit", "proxos done"): "vmcall-done",
+    ("vmentry", "resume private VM"): "resume-private",
+}
+
+
 class Proxos(CrossWorldSystem):
     """Proxos: private app in ``local_vm``, commodity OS in ``remote_vm``."""
 

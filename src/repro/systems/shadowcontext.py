@@ -26,6 +26,18 @@ from repro.hypervisor.injection import VECTOR_SYSCALL_REDIRECT
 from repro.systems.base import CrossWorldSystem
 
 
+#: Profiler step labels for the baseline inject-into-dummy path
+#: (Figure 2, case 4): ``(trace event kind, detail) -> canonical step``.
+STACK_STEPS = {
+    ("vmexit", "shadowcontext redirect"): "vmcall-entry",
+    ("vmentry", "run dummy process"): "enter-untrusted",
+    ("syscall_trap", "dummy dispatch"): "dummy-dispatch",
+    ("sysret", "dummy user"): "dummy-user",
+    ("vmexit", "shadowcontext done"): "vmcall-done",
+    ("vmentry", "resume trusted VM"): "resume-trusted",
+}
+
+
 class ShadowContext(CrossWorldSystem):
     """ShadowContext: trusted VM = ``local_vm``, untrusted VM =
     ``remote_vm``."""

@@ -28,6 +28,19 @@ from repro.systems.base import CrossWorldSystem
 #: Port the manager's browser-call service listens on.
 MANAGER_PORT = 8080
 
+#: Profiler step labels for the baseline XML-over-TCP path (Figure 2,
+#: case 3): ``(trace event kind, detail) -> canonical path step``.
+STACK_STEPS = {
+    ("vmexit", "browser blocks on RPC"): "rpc-block",
+    ("vm_schedule", "run manager"): "schedule-manager",
+    ("vmentry", "manager VM"): "enter-manager",
+    ("syscall_trap", "manager wakeup"): "manager-wakeup",
+    ("sysret", "manager user"): "manager-user",
+    ("vmexit", "manager idles"): "manager-idle",
+    ("vm_schedule", "resume browser"): "schedule-browser",
+    ("vmentry", "browser VM"): "resume-browser",
+}
+
 
 class Tahoma(CrossWorldSystem):
     """Tahoma: browser instance in ``local_vm``, manager in

@@ -134,8 +134,8 @@ def crossing_matrix_text(session: TelemetrySession) -> str:
 
 
 def metrics_snapshot(session: TelemetrySession) -> Dict[str, Any]:
-    """The deterministic metrics artifact (what ``BENCH_*.json``
-    embeds): the registry snapshot plus the session label."""
+    """The full deterministic metrics artifact (``metrics.json``):
+    the registry snapshot plus the session label."""
     snap = session.metrics.snapshot()
     return {
         "label": session.label,
@@ -145,10 +145,22 @@ def metrics_snapshot(session: TelemetrySession) -> Dict[str, Any]:
     }
 
 
+def metrics_digest(session: TelemetrySession, top: int = 12
+                   ) -> Dict[str, Any]:
+    """The *bounded* metrics artifact BENCH_*.json embeds: per-family
+    counter totals, the ``top`` largest series and bucket-free
+    histogram summaries (instead of the full snapshot)."""
+    return dict(session.metrics.digest(top), label=session.label)
+
+
 def write_artifacts(session: TelemetrySession, outdir: str,
-                    prefix: str = "") -> Dict[str, str]:
+                    prefix: str = "", profile: bool = True
+                    ) -> Dict[str, str]:
     """Write ``<prefix>trace.json``, ``<prefix>metrics.json`` and
-    ``<prefix>matrix.txt`` under ``outdir``; returns the paths."""
+    ``<prefix>matrix.txt`` under ``outdir`` — plus, unless
+    ``profile=False``, the cost-attribution profile as
+    ``<prefix>stacks.collapsed`` and ``<prefix>speedscope.json``;
+    returns the paths."""
     os.makedirs(outdir, exist_ok=True)
     paths = {
         "trace": os.path.join(outdir, f"{prefix}trace.json"),
@@ -163,6 +175,11 @@ def write_artifacts(session: TelemetrySession, outdir: str,
         fh.write("\n")
     with open(paths["matrix"], "w") as fh:
         fh.write(crossing_matrix_text(session) + "\n")
+    if profile:
+        from repro.telemetry import profiler
+
+        prof = profiler.profile_session(session)
+        paths.update(profiler.write_profile(prof, outdir, prefix))
     return paths
 
 

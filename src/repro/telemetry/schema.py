@@ -11,6 +11,8 @@ Usage::
 
     python -m repro.telemetry.schema metrics out/metrics.json
     python -m repro.telemetry.schema chrome_trace out/trace.json
+    python -m repro.telemetry.schema bench BENCH_PR3.json
+    python -m repro.telemetry.schema trajectory TRAJECTORY.json
 """
 
 from __future__ import annotations
@@ -101,7 +103,8 @@ def main(argv=None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if len(args) != 2:
         print("usage: python -m repro.telemetry.schema "
-              "<metrics|chrome_trace|summary> <file.json>",
+              "<metrics|chrome_trace|summary|bench|trajectory> "
+              "<file.json>",
               file=sys.stderr)
         return 2
     errors = validate_file(args[0], args[1])

@@ -101,6 +101,29 @@ class TestCli:
             assert row["paper_crossings"] \
                 == figure2[name]["paper_crossings"]
 
+    def test_quick_mode_fails_on_crosscheck_mismatch(self, tmp_path,
+                                                     capsys, monkeypatch):
+        """Acceptance: any span-vs-trace-vs-paper disagreement makes the
+        CLI exit nonzero.  Forcing the paper's Figure-2 count above what
+        the simulator can ever record trips the paper-bound check."""
+        from repro.analysis import calibration
+
+        monkeypatch.setitem(calibration.FIGURE2_CROSSINGS, "Proxos", 999)
+        rc = cli.main(["--quick", "--out", str(tmp_path)])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "MISMATCH" in captured.out
+        assert "cross-check failed" in captured.err
+
+    def test_profile_flag_prints_hotspots(self, tmp_path, capsys):
+        rc = cli.main(["--quick", "--profile", "--hotspots", "3",
+                       "--out", str(tmp_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Top 3 stacks by modeled cycles" in out
+        assert (tmp_path / "proxos_original.stacks.collapsed").exists()
+        assert (tmp_path / "proxos_original.speedscope.json").exists()
+
     def test_optimized_variant_crosses_less(self):
         _, orig = cli.trace_system("ShadowContext", optimized=False,
                                    calls=1)

@@ -1,0 +1,195 @@
+"""Cost-attribution profiler: determinism, attribution, ring mode."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.analysis import experiments, parallel
+from repro.telemetry import cli, profiler
+from repro.telemetry.spans import SpanRing
+
+
+def _sweep_profile(workers):
+    """Collapsed stacks of one table4 sweep at a given worker count."""
+    with telemetry.scoped(f"sweep-{workers}") as session:
+        sweep = parallel.run_sweep(("table4",), workers=workers)
+    profile = profiler.profile_session(session, label="sweep")
+    return sweep["results"], profile
+
+
+class TestDeterminism:
+    def test_collapsed_stacks_identical_across_worker_counts(self):
+        """Acceptance: byte-identical collapsed stacks serial vs
+        parallel and across 1/2/4 workers."""
+        results = {}
+        collapsed = {}
+        for workers in (1, 2, 4):
+            value, profile = _sweep_profile(workers)
+            results[workers] = value
+            collapsed[workers] = profile.collapsed_stacks()
+        assert results[1] == results[2] == results[4]
+        assert collapsed[1] == collapsed[2] == collapsed[4]
+        assert collapsed[1]  # non-trivial: something was attributed
+
+    def test_repeated_runs_byte_identical(self):
+        _, first = _sweep_profile(1)
+        _, second = _sweep_profile(1)
+        assert first.collapsed_stacks() == second.collapsed_stacks()
+        assert (json.dumps(first.speedscope(), sort_keys=True)
+                == json.dumps(second.speedscope(), sort_keys=True))
+
+    def test_modeled_results_unchanged_by_profiling(self):
+        spec = ("Proxos", False, 3)
+        plain = experiments.table4_cell(*spec)
+        with telemetry.scoped("full"):
+            full = experiments.table4_cell(*spec)
+        session = telemetry.install(
+            telemetry.TelemetrySession.lightweight("light"))
+        try:
+            light = experiments.table4_cell(*spec)
+        finally:
+            telemetry.uninstall()
+        assert plain == full == light
+
+
+class TestAttribution:
+    @pytest.fixture(scope="class")
+    def proxos_profile(self):
+        session, _ = cli.trace_system("Proxos", optimized=False, calls=3)
+        return session, profiler.profile_session(session)
+
+    def test_stack_steps_labels_applied(self, proxos_profile):
+        """The ISSUE's canonical example stack shape:
+        ``proxos/<op>/vmcall-entry``."""
+        _, profile = proxos_profile
+        stacks = {"/".join(s) for s in profile.stacks()}
+        assert any(s.endswith("proxos/getppid/vmcall-entry")
+                   for s in stacks)
+        assert any(s.endswith("proxos/getppid/resume-private")
+                   for s in stacks)
+        # no unlabeled raw vmexit leaks through for Proxos' own path
+        assert not any(s.endswith("proxos/getppid/vmexit")
+                       for s in stacks)
+
+    def test_redirect_calls_counted(self, proxos_profile):
+        _, profile = proxos_profile
+        calls = sum(
+            profile._entries[s].calls for s in profile.stacks()
+            if len(s) >= 2 and s[-2] == "proxos" and s[-1] == "getppid")
+        assert calls == 4   # 3 measured calls + the setup warm-up
+
+    def test_crosscheck_clean(self, proxos_profile):
+        session, profile = proxos_profile
+        assert profiler.crosscheck(session, profile) == []
+
+    def test_crosscheck_catches_overattribution(self, proxos_profile):
+        session, _ = proxos_profile
+        profile = profiler.profile_session(session)
+        stack = profile.stacks()[0]
+        profile._entries[stack].cross("vmexit", 10_000)
+        errors = profiler.crosscheck(session, profile)
+        assert errors and "vmexit" in errors[0]
+
+    def test_totals_and_hotspots_consistent(self, proxos_profile):
+        _, profile = proxos_profile
+        totals = profile.totals()
+        assert totals["cycles"] > 0
+        assert totals["crossings"] > 0
+        hotspots = profile.hotspots(3)
+        assert len(hotspots) == 3
+        assert (hotspots[0]["cycles"] >= hotspots[1]["cycles"]
+                >= hotspots[2]["cycles"])
+        table = profile.hotspot_table(3)
+        assert "Top 3 stacks by modeled cycles" in table
+        assert hotspots[0]["stack"] in table
+
+
+class TestExports:
+    @pytest.fixture(scope="class")
+    def profile(self):
+        session, _ = cli.trace_system("HyperShell", optimized=False,
+                                      calls=2)
+        return profiler.profile_session(session)
+
+    def test_collapsed_format(self, profile):
+        text = profile.collapsed_stacks()
+        assert text.endswith("\n")
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            frames, _, weight = line.rpartition(" ")
+            assert frames and int(weight) > 0
+
+    def test_speedscope_document(self, profile):
+        doc = profile.speedscope()
+        assert doc["$schema"] == \
+            "https://www.speedscope.app/file-format-schema.json"
+        prof = doc["profiles"][0]
+        assert prof["type"] == "sampled"
+        assert len(prof["samples"]) == len(prof["weights"])
+        n_frames = len(doc["shared"]["frames"])
+        assert all(0 <= i < n_frames
+                   for sample in prof["samples"] for i in sample)
+        assert prof["endValue"] == sum(prof["weights"])
+
+    def test_write_profile(self, profile, tmp_path):
+        paths = profiler.write_profile(profile, str(tmp_path), "hs.")
+        assert set(paths) == {"stacks", "speedscope"}
+        stacks = (tmp_path / "hs.stacks.collapsed").read_text()
+        assert stacks == profile.collapsed_stacks()
+        doc = json.loads((tmp_path / "hs.speedscope.json").read_text())
+        assert doc["profiles"][0]["type"] == "sampled"
+
+    def test_invalid_weight_rejected(self, profile):
+        with pytest.raises(ValueError):
+            profile.collapsed_stacks(weight="wall")
+
+
+class TestRingMode:
+    def test_ring_is_bounded_and_counts_overwrites(self):
+        ring = SpanRing(4)
+        for i in range(10):
+            ring.push(("s", "op", "original", i, i, 0))
+        assert len(ring) == 4
+        assert ring.pushed == 10
+        assert ring.overwritten == 6
+        assert [r[3] for r in ring] == [6, 7, 8, 9]  # oldest first
+
+    def test_sampling_keeps_counters_complete(self):
+        config = telemetry.TelemetryConfig(spans="ring", ring_capacity=64,
+                                           capture_wall=False,
+                                           sample_every=4)
+        with telemetry.scoped("ring", config) as session:
+            experiments.table4_cell("Proxos", False, 8)
+        redirects = sum(
+            c.value for c in
+            session.metrics.family("system.redirects").values())
+        # every redirect counted, only every 4th recorded as a span
+        assert redirects >= 8
+        assert session.span_ring is not None
+        assert 0 < session.span_ring.pushed <= redirects // 4 + 1
+        assert session.tracer.roots == []   # no span tree in ring mode
+
+    def test_ring_records_feed_profile_and_crosscheck(self):
+        config = telemetry.TelemetryConfig(spans="ring", ring_capacity=64,
+                                           capture_wall=False,
+                                           sample_every=1)
+        with telemetry.scoped("ring", config) as session:
+            experiments.table4_cell("ShadowContext", False, 4)
+        profile = profiler.profile_session(session)
+        stacks = {"/".join(s) for s in profile.stacks()}
+        assert any(s.startswith("shadowcontext/") for s in stacks)
+        assert sum(e.calls for e in profile._entries.values()) \
+            == len(session.span_ring)
+        assert profiler.crosscheck(session, profile) == []
+
+    def test_lightweight_session_shape(self):
+        session = telemetry.TelemetrySession.lightweight("lw")
+        assert session.span_ring is not None
+        assert session.config.capture_wall is False
+        assert session.config.sample_every == 64
+        assert session.tracer.capture_wall is False
+
+    def test_no_session_leaks(self):
+        assert not telemetry.enabled()

@@ -58,6 +58,19 @@ def extract_series(bench: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     overheads) come along with their improvement direction.
     """
     series: Dict[str, Dict[str, Any]] = {}
+    if bench.get("schema") == "crossover-faults/v1":
+        summary = bench.get("summary", {})
+        for name, direction in (("sites_exercised", "higher"),
+                                ("recovered_percent", "higher"),
+                                ("invariant_violations", "lower")):
+            value = summary.get(name)
+            if isinstance(value, (int, float)):
+                series[f"faults.{name}"] = {
+                    "value": value,
+                    "samples": [value],
+                    "direction": direction,
+                }
+        return series
     for run_name, run in sorted(bench.get("runs", {}).items()):
         if not isinstance(run, dict) or "wall_seconds" not in run:
             continue

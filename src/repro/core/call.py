@@ -14,14 +14,21 @@ Implements the protocol of Section 3.3 around the hardware
   marshals the result, and issues the returning ``world_call``;
 * **failure handling** — remote errno errors are marshaled back and
   re-raised at the caller; a hung callee is recovered through the
-  hypervisor watchdog (Section 3.4).
+  hypervisor watchdog (Section 3.4);
+* **graceful degradation** — faulted ``world_call`` transitions are
+  recovered by bounded retry after hypervisor re-validation, and when
+  the callee's world really is gone the call degrades to the legacy
+  vmcall/trap redirection path (the pre-CrossOver mechanism) instead of
+  failing, governed by :class:`RecoveryConfig`.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro import faults as _faults
 from repro import telemetry
 from repro.core import convention, fastpath
 from repro.core.binding import BindingTable
@@ -33,8 +40,11 @@ from repro.errors import (
     CallTimeout,
     ControlFlowViolation,
     GuestOSError,
+    NoSuchWorld,
     SimulationError,
     WorldCallError,
+    WorldCallFault,
+    WorldNotPresent,
 )
 from repro.hw import fused
 from repro.hw.costs import Cost
@@ -55,6 +65,28 @@ class CallRequest:
 _SCHED_RELOAD = Cost(15, 50)
 
 
+@dataclass
+class RecoveryConfig:
+    """Which graceful-degradation policies the runtime may use.
+
+    Every knob defaults to on; fault-campaign tests switch individual
+    policies off to prove the resilience gate can actually fail.
+    """
+
+    #: Bounded retries of a faulted call after hypervisor re-validation.
+    max_retries: int = 2
+    #: Re-validate + heal a world entry on ``WorldNotPresent``.
+    revalidate: bool = True
+    #: Service WT/IWT cache misses by refilling via ``manage_wtc``
+    #: (off: the raw :class:`WorldTableCacheMiss` escapes to software).
+    wtc_refill: bool = True
+    #: Fall back to the legacy vmcall/trap path when the callee's world
+    #: is unrecoverable by retry.
+    legacy_fallback: bool = True
+    #: Retry the watchdog-arming hypercall once if the handler rejects.
+    hypercall_retry: bool = True
+
+
 class WorldCallRuntime:
     """Software support for cross-world calls on one machine."""
 
@@ -66,6 +98,17 @@ class WorldCallRuntime:
         self.binding_table = binding_table
         self._channels: Dict[Tuple[int, int], Channel] = {}
         self.calls_completed = 0
+        self.recovery = RecoveryConfig()
+        #: Recovery-policy activations: policy name -> count.
+        self.recoveries: Counter = Counter()
+        #: Calls completed over the legacy vmcall/trap fallback path.
+        self.legacy_calls = 0
+
+    def _note_recovery(self, policy: str) -> None:
+        self.recoveries[policy] += 1
+        session = telemetry._session
+        if session is not None:
+            session.on_recovery(policy)
 
     # ------------------------------------------------------------------
     # setup (one-time, Section 3.3 "World-call setup")
@@ -113,23 +156,31 @@ class WorldCallRuntime:
 
         Requires a hypervisor round trip, so callers arm "a relatively
         long timer for multiple world-calls to amortize the overhead".
+        From guest CPL 0 this is the ``SET_TIMEOUT`` hypercall; if the
+        handler rejects the request, the round trip is retried once
+        (``RecoveryConfig.hypercall_retry``) before the error escapes.
         """
+        from repro.hypervisor.hypercalls import Hypercall
+
         cpu = self.machine.cpu
         hypervisor = self.machine.hypervisor
-        if cpu.mode is Mode.NON_ROOT:
-            cpu.vmexit("vmcall", "arm watchdog")
-            cpu.charge("vmexit_handle")
-            cpu.charge("hypercall_dispatch")
-            cpu.charge("timer_program")
-            hypervisor.armed_timeouts[cpu.cpu_id] = (caller.entry,
-                                                     budget_cycles)
-            assert cpu.current_vmcs is not None
-            cpu.vmentry(cpu.current_vmcs, "resume")
+        if cpu.mode is Mode.NON_ROOT and cpu.ring == 0:
+            attempts = 2 if self.recovery.hypercall_retry else 1
+            for attempt in range(attempts):
+                try:
+                    hypervisor.hypercall(cpu, Hypercall.SET_TIMEOUT,
+                                         caller.entry, budget_cycles)
+                    break
+                except GuestOSError:
+                    if attempt + 1 >= attempts:
+                        raise
+                    self._note_recovery("hypercall_retry")
         else:
             cpu.charge("timer_program")
             hypervisor.armed_timeouts[cpu.cpu_id] = (caller.entry,
                                                      budget_cycles)
         caller.watchdog_armed = True
+        caller.watchdog_budget = budget_cycles
 
     # ------------------------------------------------------------------
     # the call itself
@@ -148,8 +199,8 @@ class WorldCallRuntime:
         """
         session = telemetry._session
         if session is None:
-            return self._call(caller, callee_wid, payload,
-                              authorize=authorize)
+            return self._call_guarded(caller, callee_wid, payload,
+                                      authorize=authorize)
         # Telemetry wraps the whole round trip in a span (modeled
         # cycles + wall-clock); collection only reads the counters, so
         # the modeled numbers are identical to the bare path.
@@ -158,8 +209,72 @@ class WorldCallRuntime:
                                  cpu=self.machine.cpu,
                                  caller_wid=caller.wid,
                                  callee_wid=callee_wid):
-            return self._call(caller, callee_wid, payload,
-                              authorize=authorize)
+            return self._call_guarded(caller, callee_wid, payload,
+                                      authorize=authorize)
+
+    def _call_guarded(self, caller: World, callee_wid: int, payload: Any, *,
+                      authorize: bool) -> Any:
+        """Armed-timeout bookkeeping around one call.
+
+        The long watchdog timer is armed once and amortized across many
+        calls (Section 3.4), but the *bookkeeping* entry in
+        ``hypervisor.armed_timeouts`` must never outlive the call it
+        covered: a stale entry pointing at a popped caller frame is a
+        leak (and a confusion hazard for nested calls).  So the entry is
+        (re)installed per call while the timer stands, and removed on
+        every exit — normal return, marshaled error, or fault unwind.
+        """
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        if caller.watchdog_armed and \
+                cpu.cpu_id not in hypervisor.armed_timeouts:
+            # Pure bookkeeping — the hardware timer armed earlier still
+            # stands, so no hypervisor round trip is charged.
+            hypervisor.armed_timeouts[cpu.cpu_id] = (
+                caller.entry, caller.watchdog_budget)
+        try:
+            return self._call_recoverable(caller, callee_wid, payload,
+                                          authorize=authorize)
+        finally:
+            armed = hypervisor.armed_timeouts.get(cpu.cpu_id)
+            if armed is not None and armed[0] is caller.entry:
+                del hypervisor.armed_timeouts[cpu.cpu_id]
+
+    def _call_recoverable(self, caller: World, callee_wid: int,
+                          payload: Any, *, authorize: bool) -> Any:
+        """Bounded-retry / legacy-fallback wrapper around :meth:`_call`.
+
+        A ``world_call`` that faults on the *issue* transition leaves
+        the caller fully unwound (see :meth:`_call`), so it is safe to
+        retry after the hypervisor re-validates the callee's entry, or
+        to re-route the same payload over the legacy vmcall/trap path.
+        """
+        worlds = self.machine.hypervisor.worlds
+        retries = 0
+        while True:
+            try:
+                return self._call(caller, callee_wid, payload,
+                                  authorize=authorize)
+            except WorldNotPresent:
+                if self.recovery.revalidate and \
+                        retries < self.recovery.max_retries and \
+                        worlds.revalidate(self.machine.cpu, callee_wid):
+                    retries += 1
+                    self._note_recovery("revalidate")
+                    continue
+                if self._legacy_available(caller, callee_wid):
+                    self._note_recovery("legacy_fallback")
+                    return self._legacy_call(caller, callee_wid, payload,
+                                             authorize=authorize)
+                raise
+            except NoSuchWorld:
+                # The world is gone from the table itself; re-validation
+                # cannot help, only the legacy path can.
+                if self._legacy_available(caller, callee_wid):
+                    self._note_recovery("legacy_fallback")
+                    return self._legacy_call(caller, callee_wid, payload,
+                                             authorize=authorize)
+                raise
 
     def _call(self, caller: World, callee_wid: int, payload: Any, *,
               authorize: bool) -> Any:
@@ -171,6 +286,11 @@ class WorldCallRuntime:
 
         if self.binding_table is not None:
             self.binding_table.check(cpu, caller.wid, callee_wid)
+
+        if _faults._engine is not None:
+            _faults._engine.fire("core.call.pre", runtime=self,
+                                 caller=caller, callee_wid=callee_wid,
+                                 payload=payload)
 
         wire = convention.encode(payload)
         in_registers = convention.fits_registers(wire)
@@ -198,14 +318,29 @@ class WorldCallRuntime:
             assert channel is not None
             channel.write_payload(cpu, self.machine.memory, wire)
 
-        delivered_caller_wid = self.machine.hypervisor.worlds.world_call(
-            cpu, callee_wid)
+        try:
+            delivered_caller_wid = self._world_call_hw(cpu, callee_wid)
+        except WorldCallFault:
+            # The transition never happened: the CPU is still in the
+            # caller's world.  Unwind the frame pushed above so the
+            # caller is exactly as before the call, then let the fault
+            # reach the retry/fallback layer.
+            cpu.charge("world_restore_state")
+            self._unwind_caller(caller)
+            raise
 
         # --- CPU is now in the callee's context -----------------------
+        presented_wid = delivered_caller_wid
+        if _faults._engine is not None:
+            forged = _faults._engine.fire("core.call.present", runtime=self,
+                                          caller=caller,
+                                          caller_wid=delivered_caller_wid)
+            if forged is not None:
+                presented_wid = forged
         callee = self.registry.get(callee_wid)
         try:
             result = self._run_callee(callee, callee_wid,
-                                      delivered_caller_wid, wire,
+                                      presented_wid, wire,
                                       in_registers, channel, authorize)
         except CalleeHang:
             return self._recover_from_hang(caller, callee)
@@ -222,21 +357,22 @@ class WorldCallRuntime:
             # stack.  Unwind through the normal return transition so the
             # caller world is left exactly as before the call, then let
             # the error propagate.
-            self.machine.hypervisor.worlds.world_call(
-                cpu, delivered_caller_wid)
+            self._world_call_hw(cpu, delivered_caller_wid)
             cpu.charge("world_restore_state")
-            saved = caller.call_stack.pop()
-            cpu.regs.restore(saved["regs"])
-            if caller.kernel is not None and \
-                    saved["kernel_current"] is not None:
-                caller.kernel.current = saved["kernel_current"]
+            self._unwind_caller(caller)
             raise
         if not result_in_regs:
             cpu.charge("world_param_setup")
             channel.write_payload(cpu, self.machine.memory, result_wire)
 
         # The callee returns by issuing world_call back to the caller.
-        self.machine.hypervisor.worlds.world_call(cpu, delivered_caller_wid)
+        if _faults._engine is not None:
+            _faults._engine.fire("core.call.return", runtime=self,
+                                 caller=caller, callee_wid=callee_wid)
+        try:
+            self._world_call_hw(cpu, delivered_caller_wid)
+        except WorldCallFault as fault:
+            self._recover_return(caller, delivered_caller_wid, fault)
 
         # --- back in the caller ----------------------------------------
         returned_from = cpu.regs.read(WID_REGISTER)
@@ -264,6 +400,146 @@ class WorldCallRuntime:
             raise WorldCallError(value[1])
         self.calls_completed += 1
         return value
+
+    # ------------------------------------------------------------------
+    # recovery helpers (graceful degradation)
+    # ------------------------------------------------------------------
+
+    def _world_call_hw(self, cpu, wid: int) -> int:
+        """One hardware ``world_call`` via the hypervisor's miss loop.
+
+        With the WT-refill policy off, cache misses are not serviced and
+        escape raw — the degenerate mode fault-campaign tests use to
+        prove the resilience gate can fail.
+        """
+        max_services = 4 if self.recovery.wtc_refill else 0
+        return self.machine.hypervisor.worlds.world_call(
+            cpu, wid, max_services=max_services)
+
+    def _unwind_caller(self, caller: World) -> None:
+        """Pop the caller's top frame and restore its saved state."""
+        cpu = self.machine.cpu
+        saved = caller.call_stack.pop()
+        cpu.regs.restore(saved["regs"])
+        if caller.kernel is not None and saved["kernel_current"] is not None:
+            caller.kernel.current = saved["kernel_current"]
+
+    def _recover_return(self, caller: World, caller_wid: int,
+                        fault: WorldCallFault) -> None:
+        """The *returning* ``world_call`` faulted (e.g. the caller's
+        world was revoked mid-call).
+
+        The handler already ran, so retrying the whole call would
+        execute it twice; instead the return transition alone is
+        retried after re-validation.  If that also fails, the
+        hypervisor forcibly restores the caller's world (the same
+        privileged path the watchdog uses) so caller state still fully
+        unwinds, and the call is reported failed.
+        """
+        cpu = self.machine.cpu
+        worlds = self.machine.hypervisor.worlds
+        if self.recovery.revalidate and worlds.revalidate(cpu, caller_wid):
+            try:
+                worlds.world_call(cpu, caller_wid)
+                self._note_recovery("revalidate_return")
+                return
+            except WorldCallFault as second:
+                fault = second
+        # Trap to the hypervisor for a privileged restore of the caller.
+        cpu.charge("vmexit")
+        cpu.charge("vmexit_handle")
+        caller.entry.present = True
+        self.machine.hypervisor.restore_world(cpu, caller.entry)
+        self._unwind_caller(caller)
+        self._note_recovery("forced_restore")
+        raise WorldCallError(
+            f"world call return path failed ({fault}); caller restored "
+            "by the hypervisor")
+
+    def _legacy_available(self, caller: World, callee_wid: int) -> bool:
+        """Whether the legacy vmcall/trap path can serve this call."""
+        if not self.recovery.legacy_fallback:
+            return False
+        callee = self.registry.get(callee_wid)
+        return (callee is not None
+                and callee.handler is not None
+                and caller.entry.owner_vm is not None
+                and callee.entry.owner_vm is not None
+                and self.machine.cpu.mode is Mode.NON_ROOT)
+
+    def _legacy_call(self, caller: World, callee_wid: int, payload: Any, *,
+                     authorize: bool) -> Any:
+        """The pre-CrossOver redirection path, used as a fallback.
+
+        Models the baseline mechanism the paper compares against: the
+        caller vmcalls out, the hypervisor injects a virtual interrupt
+        into the callee's VM and enters it, the handler runs there, and
+        a second exit/entry pair brings the result back.  Much more
+        expensive than ``world_call`` (two full world-switch round
+        trips) but it works without a live world-table entry.
+        """
+        from repro.hw.vmx import ExitReason
+        from repro.hypervisor.injection import VECTOR_SYSCALL_REDIRECT
+
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        callee = self.registry.get(callee_wid)
+        assert callee is not None     # _legacy_available checked
+        caller_vm = caller.entry.owner_vm
+        callee_vm = callee.entry.owner_vm
+
+        cpu.vmexit(ExitReason.VMCALL, "world_call legacy fallback")
+        cpu.charge("vmexit_handle")
+        hypervisor.injector.inject(cpu, callee_vm, VECTOR_SYSCALL_REDIRECT,
+                                   "legacy world call")
+        hypervisor.launch(cpu, callee_vm, "deliver legacy world call")
+        if cpu.ring != 0:
+            cpu.syscall_trap("legacy world-call entry")
+
+        outcome: Any = None
+        error: Optional[Exception] = None
+        if callee.busy:
+            error = WorldCallError(
+                f"concurrent world call into {callee.label} "
+                "(not supported; Section 5.3)")
+        else:
+            callee.busy = True
+            saved_current = None
+            try:
+                if callee.kernel is not None:
+                    saved_current = callee.kernel.current
+                    if callee.process is not None:
+                        callee.kernel.current = callee.process
+                    if authorize:
+                        cpu.perf.charge("sched_reload", _SCHED_RELOAD)
+                if authorize:
+                    cpu.charge("world_authorize")
+                    try:
+                        callee.policy.check(caller.wid)
+                    except AuthorizationDenied as denied:
+                        error = denied
+                if error is None:
+                    request = CallRequest(
+                        caller_wid=caller.wid, payload=payload,
+                        service=callee.policy.service_for(caller.wid))
+                    try:
+                        outcome = callee.handler(request)
+                    except (GuestOSError, AuthorizationDenied,
+                            WorldCallError) as err:
+                        error = err
+            finally:
+                callee.busy = False
+                if callee.kernel is not None:
+                    callee.kernel.current = saved_current
+
+        cpu.vmexit(ExitReason.VMCALL, "legacy world call done")
+        cpu.charge("vmexit_handle")
+        hypervisor.launch(cpu, caller_vm, "resume after legacy world call")
+
+        self.legacy_calls += 1
+        if error is not None:
+            raise error
+        return outcome
 
     # ------------------------------------------------------------------
     # callee side
@@ -308,6 +584,10 @@ class WorldCallRuntime:
                 if not fused_entry:
                     cpu.charge("world_authorize")
                 try:
+                    if _faults._engine is not None:
+                        _faults._engine.fire("core.call.authorize",
+                                             runtime=self, callee=callee,
+                                             caller_wid=caller_wid)
                     callee.policy.check(caller_wid)
                 except AuthorizationDenied as denied:
                     return ("__denied__", denied.detail or str(denied))
@@ -321,6 +601,9 @@ class WorldCallRuntime:
                 caller_wid=caller_wid, payload=payload,
                 service=callee.policy.service_for(caller_wid))
             try:
+                if _faults._engine is not None:
+                    _faults._engine.fire("core.call.handler", runtime=self,
+                                         callee=callee, request=request)
                 return callee.handler(request)
             except CalleeHang:
                 raise        # handled by the watchdog path in call()
@@ -354,8 +637,11 @@ class WorldCallRuntime:
                 f"callee {callee.label if callee else '?'} never returned "
                 "and no watchdog was armed: the caller is wedged")
         self.machine.hypervisor.fire_world_call_timeout(cpu)
-        caller.call_stack.pop()
+        # Full caller-state unwind: the frame, registers and the guest
+        # OS's current-process pointer all roll back to pre-call state.
+        self._unwind_caller(caller)
         caller.watchdog_armed = False
+        self._note_recovery("watchdog_timeout")
         raise CallTimeout(
             f"world call from {caller.label} cancelled by the hypervisor "
             "watchdog")

@@ -17,9 +17,12 @@ get explicit tagged encodings.
 from __future__ import annotations
 
 import ast
+import zlib
 from collections import OrderedDict
 from typing import Any
 
+from repro import faults as _faults
+from repro import telemetry as _telemetry
 from repro.core import fastpath
 from repro.errors import GuestOSError, SimulationError
 from repro.guestos.fs.inode import InodeType, StatResult
@@ -112,9 +115,17 @@ _CACHE_MAX = 4096
 _encode_cache: "OrderedDict[Any, bytes]" = OrderedDict()
 _decode_cache: "OrderedDict[bytes, Any]" = OrderedDict()
 
+#: Integrity digests of cached encode wires, maintained only while a
+#: fault engine is installed (the hot path pays nothing otherwise).
+#: A hit whose wire no longer matches its digest is a poisoned entry:
+#: it is dropped and re-encoded from the live payload instead of ever
+#: handing corrupted bytes to a channel.
+_encode_crc: dict = {}
+
 #: Hit/miss statistics, exposed for BENCH artifacts and tests.
 cache_stats = {"encode_hits": 0, "encode_misses": 0,
-               "decode_hits": 0, "decode_misses": 0}
+               "decode_hits": 0, "decode_misses": 0,
+               "poison_repaired": 0}
 
 #: Exact types whose repr is already the wire form (scalar fast path).
 _SCALAR_TYPES = frozenset({bool, int, float, str, type(None)})
@@ -371,8 +382,26 @@ def clear_caches() -> None:
     """Drop both marshaling caches and zero the statistics."""
     _encode_cache.clear()
     _decode_cache.clear()
+    _encode_crc.clear()
     for key in cache_stats:
         cache_stats[key] = 0
+
+
+def poison_encode_cache() -> int:
+    """Corrupt every tracked encode-cache wire (fault injection).
+
+    Flips the last byte of each cached wire whose integrity digest is
+    being maintained; returns how many entries were poisoned.  Used by
+    the ``core.marshal_cache_poison`` injection site.
+    """
+    poisoned = 0
+    for key in list(_encode_crc):
+        wire = _encode_cache.get(key)
+        if wire is None or not wire:
+            continue
+        _encode_cache[key] = wire[:-1] + bytes([wire[-1] ^ 0xFF])
+        poisoned += 1
+    return poisoned
 
 
 def encode(value: Any) -> bytes:
@@ -387,6 +416,18 @@ def encode(value: Any) -> bytes:
     if key is not None:
         cached = _encode_cache.get(key)
         if cached is not None:
+            if _faults._engine is not None:
+                crc = _encode_crc.get(key)
+                if crc is not None and zlib.crc32(cached) != crc:
+                    # Poisoned entry: repair from the live payload
+                    # rather than ever returning corrupted bytes.
+                    cached = repr(_to_wire(value)).encode()
+                    _encode_cache[key] = cached
+                    _encode_crc[key] = zlib.crc32(cached)
+                    cache_stats["poison_repaired"] += 1
+                    session = _telemetry._session
+                    if session is not None:
+                        session.on_recovery("marshal_repair")
             _encode_cache.move_to_end(key)
             cache_stats["encode_hits"] += 1
             return cached
@@ -394,8 +435,11 @@ def encode(value: Any) -> bytes:
     if key is not None:
         cache_stats["encode_misses"] += 1
         _encode_cache[key] = wire
+        if _faults._engine is not None:
+            _encode_crc[key] = zlib.crc32(wire)
         if len(_encode_cache) > _CACHE_MAX:
-            _encode_cache.popitem(last=False)
+            evicted_key, _ = _encode_cache.popitem(last=False)
+            _encode_crc.pop(evicted_key, None)
     return wire
 
 

@@ -33,11 +33,14 @@ step  context            action
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import faults as _faults
 from repro import telemetry
 from repro.core import convention, fastpath
-from repro.errors import ConfigurationError, GuestOSError, SimulationError
+from repro.errors import (ConfigurationError, GuestOSError, SimulationError,
+                          VMFuncFault)
 from repro.hw import fused
 from repro.guestos.kernel import Kernel
 from repro.guestos.process import Process
@@ -45,6 +48,7 @@ from repro.hw.cpu import Mode, Ring, VMFUNC_EPT_SWITCH
 from repro.hw.idt import IDT
 from repro.hw.mem import PAGE_SIZE
 from repro.hw.paging import PageTable
+from repro.hw.vmx import ExitReason
 from repro.hypervisor.hypercalls import Hypercall
 from repro.hypervisor.vm import VirtualMachine
 
@@ -94,6 +98,10 @@ class CrossVMSyscallMechanism:
             raise ConfigurationError(
                 "cross-VM syscalls via VMFUNC need VMFUNC hardware")
         self._pairs: Dict[Tuple[str, str], _PairState] = {}
+        #: Fall back to the trap-based round trip when VMFUNC faults.
+        self.recovery_legacy = True
+        #: Recovery-policy activations (mirrors WorldCallRuntime).
+        self.recoveries: Counter = Counter()
 
     # ------------------------------------------------------------------
     # one-time setup
@@ -234,7 +242,11 @@ class CrossVMSyscallMechanism:
         saved_pt = cpu.page_table
         saved_idt = cpu.interrupts.idt
 
-        if fastpath.enabled() and not cpu.trace.enabled:
+        # The fused batches cannot model a VMFUNC that faults halfway;
+        # with a fault engine installed the dispatcher takes the
+        # step-by-step path so injected faults land between real steps.
+        if fastpath.enabled() and not cpu.trace.enabled and \
+                _faults._engine is None:
             return self._roundtrip_fused(state, from_vm, to_vm, request_obj,
                                          server, saved_pt, saved_idt)
 
@@ -249,7 +261,20 @@ class CrossVMSyscallMechanism:
         self._check_fits(len(request))
         cpu.write_virt(memory, SHARED_GVA + _CONTEXT_SAVE_BYTES,
                        len(request).to_bytes(4, "big") + request)
-        cpu.vmfunc(VMFUNC_EPT_SWITCH, to_vm.vm_id)
+        try:
+            cpu.vmfunc(VMFUNC_EPT_SWITCH, to_vm.vm_id)
+        except VMFuncFault:
+            # Unwind the helper context (we never left from_vm), then
+            # degrade to the trap-based hypervisor-mediated round trip.
+            if saved_idt is not None:
+                cpu.install_idt(saved_idt)
+            cpu.sti()
+            assert saved_pt is not None
+            cpu.write_cr3(saved_pt)
+            if not self.recovery_legacy:
+                raise
+            return self._legacy_roundtrip(from_vm, to_vm, request_obj,
+                                          server)
 
         # Step 4: we are now executing in to_vm's kernel context.
         cpu.sti()
@@ -286,6 +311,37 @@ class CrossVMSyscallMechanism:
         if isinstance(result, GuestOSError):
             raise result
         return result
+
+    def _legacy_roundtrip(self, from_vm: VirtualMachine,
+                          to_vm: VirtualMachine, request_obj: Any,
+                          server: Callable[[Any], Any]) -> Any:
+        """The pre-VMFUNC fallback: a trap-based round trip.
+
+        When the exit-free EPTP switch is unavailable (VMFUNC faulted),
+        the dispatcher falls back to what baseline systems do — exit to
+        the hypervisor, enter the peer VM, run the service there, and
+        come back with a second exit/entry pair.  Two full world
+        switches instead of zero, but the call still completes.
+        """
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        cpu.vmexit(ExitReason.VMFUNC_FAULT, "crossvm VMFUNC failed")
+        cpu.charge("vmexit_handle")
+        hypervisor.launch(cpu, to_vm, "crossvm legacy entry")
+        try:
+            outcome = server(request_obj)
+        except GuestOSError as err:
+            outcome = err
+        cpu.vmexit(ExitReason.VMCALL, "crossvm legacy done")
+        cpu.charge("vmexit_handle")
+        hypervisor.launch(cpu, from_vm, "crossvm legacy resume")
+        self.recoveries["legacy_roundtrip"] += 1
+        session = telemetry._session
+        if session is not None:
+            session.on_recovery("crossvm_legacy")
+        if isinstance(outcome, GuestOSError):
+            raise outcome
+        return outcome
 
     def _roundtrip_fused(self, state: _PairState, from_vm: VirtualMachine,
                          to_vm: VirtualMachine, request_obj: Any,

@@ -50,6 +50,9 @@ class World:
         #: concurrent cross-world calls from one world".
         self.busy = False
         self.watchdog_armed = False
+        #: Budget of the long watchdog timer armed for this caller; used
+        #: to reinstall per-call bookkeeping while the timer stands.
+        self.watchdog_budget = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<World {self.label} wid={self.wid}>"

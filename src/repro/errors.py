@@ -10,9 +10,79 @@ Two families live here:
 * **Simulator usage errors** (:class:`SimulationError` subclasses) —
   misuse of the simulator API itself (e.g. running a workload on a
   machine that was never powered on).
+
+Fault classes map onto the paper's protection mechanisms (Table 3's
+security checks) and onto the named injection sites of
+:mod:`repro.faults.sites` that exercise them:
+
+======================  ==============================  ==========================
+fault class             paper mechanism (Table 3)       injection site
+======================  ==============================  ==========================
+WorldTableCacheMiss     WT/IWT caches are software-     hw.wt_cache_incoherence
+                        managed; misses trap to the
+                        hypervisor for manage_wtc
+                        refill (Section 5.1)
+WorldNotPresent         present bit checked on every    hw.entry_revoked,
+                        world_call; revoked worlds      core.midcall_revocation
+                        cannot be entered
+NoSuchWorld             world-table walk by WID /       hw.entry_corrupt
+                        context finds nothing; WIDs
+                        are never reused, so stale
+                        WIDs cannot alias new worlds
+VMFuncFault             VMFUNC validates function       hw.vmfunc_fault
+                        and EPTP-list index before
+                        switching
+InvalidOpcode           world_call requires the         (configuration, not
+                        CrossOver hardware extension    injected)
+EPTViolation            second-stage translation is     hw.translation_epoch_stale
+                        revalidated after mapping       (epoch staleness)
+                        changes
+GuestOSError            hypercall handlers validate     hypervisor.hypercall_reject
+                        and may reject guest requests
+AuthorizationDenied     callee software authorizes      core.authorization_denial,
+                        the hardware-delivered caller   hypervisor.forged_wid
+                        WID (unforgeable; Section 3.4)
+CallTimeout             watchdog timer bounds callee    core.callee_stall
+                        execution (Section 3.4, DoS)
+CalleeHang              the raw condition the           core.callee_stall
+                        watchdog converts into
+                        CallTimeout
+ControlFlowViolation    caller-saved return state       (CFI check in the
+                        detects mismatched returns      runtime return path)
+WorldQuotaExceeded      per-VM world-creation quota     (quota check at
+                        (DoS on the world table)        create_world)
+======================  ==============================  ==========================
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "CrossOverError",
+    # -- simulated hardware faults
+    "HardwareFault",
+    "GeneralProtectionFault",
+    "PageFault",
+    "EPTViolation",
+    "VMFuncFault",
+    "InvalidOpcode",
+    "WorldCallFault",
+    "WorldTableCacheMiss",
+    "NoSuchWorld",
+    "WorldNotPresent",
+    "VMExitRaised",
+    # -- guest-OS level errors
+    "GuestOSError",
+    # -- CrossOver runtime (software) errors
+    "WorldCallError",
+    "AuthorizationDenied",
+    "CallTimeout",
+    "CalleeHang",
+    "ControlFlowViolation",
+    "WorldQuotaExceeded",
+    # -- simulator usage errors
+    "SimulationError",
+    "ConfigurationError",
+]
 
 
 class CrossOverError(Exception):

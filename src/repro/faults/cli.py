@@ -1,0 +1,103 @@
+"""``crossover-faults`` — run a seeded fault-injection campaign.
+
+Runs the (system x site) campaign from :mod:`repro.faults.campaign`,
+prints the fault matrix, optionally writes the schema-validated
+``crossover-faults/v1`` artifact, and exits nonzero when resilience is
+broken::
+
+    crossover-faults                          # full campaign, defaults
+    crossover-faults --ops 8 --seed 3 --out FAULTS.json
+    crossover-faults --sites hw.entry_corrupt --disable-recovery legacy_fallback
+
+Exit status: ``0`` all faults handled and crosscheck clean; ``1`` at
+least one invariant-violation, a crosscheck mismatch, or an artifact
+that fails its own schema; ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.faults import campaign as _campaign
+from repro.faults.sites import SITE_NAMES
+
+
+def _csv(value: str) -> List[str]:
+    return [item for item in (part.strip() for part in value.split(","))
+            if item]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crossover-faults",
+        description="Deterministic fault-injection campaign over the "
+                    "world-call datapath.")
+    parser.add_argument("--systems", type=_csv, default=None,
+                        metavar="A,B",
+                        help="case-study systems to replay (default: "
+                             + ",".join(_campaign.CAMPAIGN_SYSTEMS) + ")")
+    parser.add_argument("--sites", type=_csv, default=None, metavar="S,S",
+                        help="fault sites to exercise (default: all "
+                             f"{len(SITE_NAMES)})")
+    parser.add_argument("--ops", type=int, default=_campaign.DEFAULT_OPS,
+                        help="operations per (system, site) cell "
+                             "(default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="schedule seed (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel workers (default: one per CPU)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the crossover-faults/v1 artifact here")
+    parser.add_argument("--disable-recovery", type=_csv, default=[],
+                        metavar="P,P",
+                        help="recovery policies to disable (ablation): "
+                             + ",".join(_campaign.RECOVERY_POLICIES))
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the matrix printout")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.ops < 1:
+        print("crossover-faults: --ops must be >= 1", file=sys.stderr)
+        return 2
+    try:
+        artifact = _campaign.run_campaign(
+            systems=args.systems, sites=args.sites, ops=args.ops,
+            seed=args.seed, workers=args.workers,
+            disabled=args.disable_recovery)
+    except ValueError as exc:
+        print(f"crossover-faults: {exc}", file=sys.stderr)
+        return 2
+
+    if not args.quiet:
+        print(_campaign.render_matrix(artifact))
+
+    from repro.telemetry.schema import load_schema, validate
+    schema_errors = validate(artifact, load_schema("faults"))
+    for error in schema_errors:
+        print(f"crossover-faults: schema violation: {error}",
+              file=sys.stderr)
+
+    if args.out:
+        _campaign.write_artifact(artifact, args.out)
+        if not args.quiet:
+            print(f"wrote {args.out}")
+
+    violations = artifact["summary"]["invariant_violations"]
+    if violations:
+        print(f"crossover-faults: {violations} invariant-violation(s)",
+              file=sys.stderr)
+    if not artifact["crosscheck"]["ok"]:
+        print("crossover-faults: telemetry crosscheck FAILED",
+              file=sys.stderr)
+    broken = bool(violations) or not artifact["crosscheck"]["ok"] \
+        or bool(schema_errors)
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""Fault plans: *what* to inject, *when*, and *how often*.
+
+A :class:`FaultPlan` binds one named injection site (see
+:mod:`repro.faults.sites`) to a deterministic, seeded schedule of
+operation indexes, a count budget, and an optional trigger predicate
+over the hookpoint context.  Plans are plain data — picklable and
+hashable — so campaign cells can ship them to pool workers and two
+runs with the same seed build byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """One injection directive for a campaign or test run.
+
+    ``schedule`` holds the operation indexes (as counted by
+    :meth:`~repro.faults.engine.FaultEngine.begin_operation`) at which
+    the site may fire; ``budget`` caps total fires across the run; the
+    optional ``trigger`` sees the hookpoint's keyword context and can
+    veto a fire (it must be deterministic — no clocks, no RNG state of
+    its own).
+    """
+
+    site: str
+    schedule: Tuple[int, ...] = (0,)
+    budget: int = 1
+    trigger: Optional[Callable[[Mapping], bool]] = field(
+        default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(set(self.schedule)))
+        object.__setattr__(self, "schedule", ordered)
+
+
+def seeded_schedule(seed: int, key: str, ops: int,
+                    fires: int) -> Tuple[int, ...]:
+    """A deterministic sample of ``fires`` op indexes out of ``ops``.
+
+    The RNG is derived from ``(seed, key)`` alone, so the same campaign
+    seed and cell key produce the same schedule in every process and at
+    every worker count.
+    """
+    if ops <= 0:
+        return ()
+    rng = random.Random(f"{seed}:{key}")
+    count = max(1, min(fires, ops))
+    return tuple(sorted(rng.sample(range(ops), count)))
+
+
+def seeded_plan(site: str, seed: int, key: str, ops: int, *,
+                fires: int = 1,
+                trigger: Optional[Callable[[Mapping], bool]] = None
+                ) -> FaultPlan:
+    """Build a :class:`FaultPlan` with a :func:`seeded_schedule`."""
+    schedule = seeded_schedule(seed, key, ops, fires)
+    return FaultPlan(site=site, schedule=schedule, budget=len(schedule),
+                     trigger=trigger)

@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, TYPE_CHECKING
 
+from repro import faults as _faults
 from repro import telemetry as _telemetry
 from repro.errors import (
     GeneralProtectionFault,
@@ -343,6 +344,9 @@ class CPU:
         * fn 0x2 — ``manage_wtc`` is exposed via :meth:`manage_wtc`
           because it carries an object payload.
         """
+        if _faults._engine is not None:
+            _faults._engine.fire("hw.vmfunc", cpu=self, function=function,
+                                 argument=argument)
         if function == VMFUNC_EPT_SWITCH:
             return self._vmfunc_ept_switch(argument, charge)
         if function == VMFUNC_WORLD_CALL:

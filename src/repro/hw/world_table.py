@@ -106,6 +106,27 @@ class WorldTable:
         del self._by_context[entry.context_key()]
         return entry
 
+    def peek(self, wid: int) -> Optional[WorldTableEntry]:
+        """Look up an entry without the NoSuchWorld fault (inspection)."""
+        return self._by_wid.get(wid)
+
+    def evict(self, wid: int) -> Optional[WorldTableEntry]:
+        """Silently drop an entry from the table (fault injection).
+
+        Unlike :meth:`destroy` this neither faults on absence nor clears
+        the present bit — it models the entry's *storage* being lost, so
+        a later :meth:`restore_entry` can put the same object back.
+        """
+        entry = self._by_wid.pop(wid, None)
+        if entry is not None:
+            self._by_context.pop(entry.context_key(), None)
+        return entry
+
+    def restore_entry(self, entry: WorldTableEntry) -> None:
+        """Re-insert an entry removed by :meth:`evict`."""
+        self._by_wid[entry.wid] = entry
+        self._by_context[entry.context_key()] = entry
+
     def walk_by_wid(self, wid: int) -> WorldTableEntry:
         """Table walk by WID (hypervisor path on a WT-cache miss)."""
         entry = self._by_wid.get(wid)

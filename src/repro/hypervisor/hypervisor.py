@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro import faults as _faults
 from repro.errors import ConfigurationError, GuestOSError, SimulationError
 from repro.hw.cpu import CPU, Mode, Ring
 from repro.hw.mem import PAGE_SIZE, Frame
@@ -131,6 +132,9 @@ class Hypervisor:
         cpu.charge("vmexit_handle")
         cpu.charge("hypercall_dispatch")
         try:
+            if _faults._engine is not None:
+                _faults._engine.fire("hv.hypercall", hypervisor=self,
+                                     cpu=cpu, vm=vm, number=number)
             result = self.hypercalls.dispatch(number, cpu, vm, *args,
                                               **kwargs)
         finally:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro import faults as _faults
 from repro import telemetry
 from repro.hw.cpu import CPU
 from repro.hypervisor.vm import VirtualMachine
@@ -53,6 +54,9 @@ class Injector:
         Must be called with the CPU already inside ``vm`` (after a VM
         entry).  Returns the number of interrupts delivered.
         """
+        if _faults._engine is not None:
+            _faults._engine.fire("hv.inject.deliver", injector=self,
+                                 cpu=cpu, vm=vm)
         delivered = 0
         while True:
             item = vm.take_virq()

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import faults as _faults
 from repro.errors import (
     NoSuchWorld,
     SimulationError,
@@ -99,14 +100,44 @@ class WorldService:
         cpu.wt_caches.fill(entry)
         self.misses_serviced += 1
 
+    def revalidate(self, cpu: CPU, wid: int) -> bool:
+        """Re-validate a world after a faulted ``world_call`` (recovery).
+
+        Walks the in-memory table for ``wid``; if the entry still
+        exists, heals a cleared present bit (the transient-revocation
+        case) and refills the per-core caches via ``manage_wtc``.
+        Returns False when the walk finds nothing — the world is really
+        gone and retrying is pointless.
+        """
+        if cpu.wt_caches is None:
+            return False
+        cpu.charge("wt_walk")
+        try:
+            entry = self.table.walk_by_wid(wid)
+        except NoSuchWorld:
+            return False
+        entry.present = True
+        cpu.charge("manage_wtc")
+        cpu.wt_caches.fill(entry)
+        return True
+
     def world_call(self, cpu: CPU, callee_wid: int, *,
                    max_services: int = 4) -> int:
         """Issue ``world_call``, transparently servicing cache misses.
 
         This is the software-visible behaviour: the faulting instruction
         is re-executed after the privileged software refills the cache.
-        Returns the caller's WID as delivered by the hardware.
+        Returns the caller's WID as delivered by the hardware.  With
+        ``max_services=0`` (the WT-refill recovery policy disabled) a
+        cache miss escapes raw to the caller.
         """
+        if _faults._engine is not None:
+            _faults._engine.fire("hv.worlds.call", service=self, cpu=cpu,
+                                 callee_wid=callee_wid)
+        if max_services <= 0:
+            result = cpu.vmfunc(VMFUNC_WORLD_CALL, callee_wid)
+            assert result is not None
+            return result
         for _ in range(max_services + 1):
             try:
                 result = cpu.vmfunc(VMFUNC_WORLD_CALL, callee_wid)

@@ -170,6 +170,8 @@ class TelemetrySession:
         self._worldcall_counters: Dict[tuple, Callable] = {}
         self._redirect_counters: Dict[tuple, Callable] = {}
         self._redirect_hists: Dict[tuple, Callable] = {}
+        self._fault_counters: Dict[str, Callable] = {}
+        self._recovery_counters: Dict[str, Callable] = {}
 
     @classmethod
     def lightweight(cls, label: str = "telemetry") -> "TelemetrySession":
@@ -228,6 +230,23 @@ class TelemetrySession:
         if inc is None:
             inc = self._crossvm_counters[key] = self.metrics.counter(
                 "core.crossvm_roundtrips", frm=frm, to=to).inc
+        inc()
+
+    def on_fault_injected(self, site: str) -> None:
+        """The fault engine fired one planned fault at ``site``."""
+        inc = self._fault_counters.get(site)
+        if inc is None:
+            inc = self._fault_counters[site] = self.metrics.counter(
+                "faults.injected", site=site).inc
+        inc()
+
+    def on_recovery(self, policy: str) -> None:
+        """A graceful-degradation policy activated (``policy`` names it:
+        revalidate, legacy_fallback, watchdog_timeout, ...)."""
+        inc = self._recovery_counters.get(policy)
+        if inc is None:
+            inc = self._recovery_counters[policy] = self.metrics.counter(
+                "faults.recoveries", policy=policy).inc
         inc()
 
     def on_virq_injected(self, vector: int, vm_name: str) -> None:

@@ -13,6 +13,7 @@ Usage::
     python -m repro.telemetry.schema chrome_trace out/trace.json
     python -m repro.telemetry.schema bench BENCH_PR3.json
     python -m repro.telemetry.schema trajectory TRAJECTORY.json
+    python -m repro.telemetry.schema faults FAULTS_PR4.json
 """
 
 from __future__ import annotations
@@ -103,7 +104,7 @@ def main(argv=None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if len(args) != 2:
         print("usage: python -m repro.telemetry.schema "
-              "<metrics|chrome_trace|summary|bench|trajectory> "
+              "<metrics|chrome_trace|summary|bench|trajectory|faults> "
               "<file.json>",
               file=sys.stderr)
         return 2

@@ -258,3 +258,63 @@ class TestChannels:
 
         with _pytest.raises(CallTimeout):
             harness.call("hang")
+
+
+class TestArmedTimeoutBookkeeping:
+    """Regression tests: ``hypervisor.armed_timeouts`` must be cleared
+    on *every* exit from :meth:`WorldCallRuntime.call`, including the
+    paths where a fault fires between arming and return."""
+
+    def _armed(self, harness):
+        return (harness.machine.cpu.cpu_id
+                in harness.machine.hypervisor.armed_timeouts)
+
+    def test_cleared_after_successful_call(self, harness):
+        harness.runtime.arm_watchdog(harness.caller)
+        harness.call("echo", 1)
+        assert not self._armed(harness)
+
+    def test_cleared_when_fault_fires_between_arm_and_return(self, harness):
+        from repro import faults as _faults
+        from repro.errors import CallTimeout
+        from repro.faults import FaultEngine, FaultPlan
+
+        harness.runtime.arm_watchdog(harness.caller)
+        engine = FaultEngine([FaultPlan(site="core.callee_stall",
+                                        schedule=(0,), budget=1)])
+        with _faults.scoped(engine):
+            engine.begin_operation(0)
+            with pytest.raises(CallTimeout):
+                harness.call("echo", 1)
+            engine.end_operation()
+        assert not self._armed(harness)
+        # a later call still gets watchdog coverage without re-arming
+        # bookkeeping leaks: arm again and verify normal operation
+        harness.runtime.arm_watchdog(harness.caller)
+        assert harness.call("echo", 2) == (2,)
+        assert not self._armed(harness)
+
+    def test_cleared_when_authorization_denies(self, harness):
+        from repro import faults as _faults
+        from repro.errors import AuthorizationDenied
+        from repro.faults import FaultEngine, FaultPlan
+
+        harness.runtime.arm_watchdog(harness.caller)
+        engine = FaultEngine([FaultPlan(site="core.authorization_denial",
+                                        schedule=(0,), budget=1)])
+        with _faults.scoped(engine):
+            engine.begin_operation(0)
+            with pytest.raises(AuthorizationDenied):
+                harness.call("echo", 1)
+            engine.end_operation()
+        assert not self._armed(harness)
+
+    def test_amortized_watchdog_reinstalls_bookkeeping_per_call(self,
+                                                               harness):
+        """One arming covers many calls, but the hypervisor-side entry
+        exists only while a call is in flight (no leak between calls)."""
+        harness.runtime.arm_watchdog(harness.caller)
+        for _ in range(3):
+            harness.call("echo", 1)
+            assert not self._armed(harness)
+        assert harness.caller.watchdog_armed

@@ -1,0 +1,141 @@
+"""Campaign-level tests: full resilience sweep, determinism across
+worker counts, schema validity, crosschecks, CLI exit codes, and the
+trajectory recording of campaign summaries."""
+
+import json
+
+import pytest
+
+from repro.faults import campaign, cli
+from repro.faults.sites import SITE_NAMES
+from repro.telemetry.schema import load_schema, validate
+
+
+@pytest.fixture(scope="module")
+def full_artifact():
+    """One full campaign: every system x every site, serial."""
+    return campaign.run_campaign(ops=4, seed=11, workers=1)
+
+
+class TestFullCampaign:
+    def test_covers_all_systems_and_sites(self, full_artifact):
+        assert full_artifact["systems"] == list(campaign.CAMPAIGN_SYSTEMS)
+        assert set(full_artifact["matrix"]) == set(SITE_NAMES)
+        assert len(SITE_NAMES) >= 10
+
+    def test_every_site_injected_somewhere(self, full_artifact):
+        assert (full_artifact["summary"]["sites_exercised"]
+                == len(SITE_NAMES))
+
+    def test_zero_invariant_violations(self, full_artifact):
+        assert full_artifact["summary"]["invariant_violations"] == 0
+        assert full_artifact["totals"]["outcomes"][
+            "invariant-violation"] == 0
+
+    def test_all_injected_faults_handled(self, full_artifact):
+        assert full_artifact["summary"]["recovered_percent"] == 100.0
+
+    def test_crosscheck_reconciles_with_telemetry(self, full_artifact):
+        crosscheck = full_artifact["crosscheck"]
+        assert crosscheck["ok"]
+        names = [check["name"] for check in crosscheck["checks"]]
+        assert "injected-matches-telemetry" in names
+        assert "recoveries-match-telemetry" in names
+
+    def test_artifact_matches_schema(self, full_artifact):
+        assert validate(full_artifact, load_schema("faults")) == []
+
+    def test_recovery_policies_observed(self, full_artifact):
+        recoveries = full_artifact["recoveries"]
+        for policy in ("revalidate", "legacy_fallback", "crossvm_legacy",
+                       "watchdog_timeout", "marshal_repair"):
+            assert recoveries.get(policy, 0) >= 1, policy
+
+
+class TestDeterminism:
+    def test_byte_identical_across_worker_counts(self):
+        dumps = []
+        for workers in (1, 2, 4):
+            artifact = campaign.run_campaign(ops=3, seed=9,
+                                             workers=workers)
+            dumps.append(json.dumps(artifact, sort_keys=True))
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    def test_seed_changes_schedules(self):
+        a = campaign.run_campaign(systems=["ShadowContext"],
+                                  sites=["hw.entry_revoked"],
+                                  ops=8, seed=1, workers=1)
+        b = campaign.run_campaign(systems=["ShadowContext"],
+                                  sites=["hw.entry_revoked"],
+                                  ops=8, seed=2, workers=1)
+        assert a["matrix"] != b["matrix"] or a["seed"] != b["seed"]
+
+    def test_validation_rejects_unknown_names(self):
+        with pytest.raises(ValueError):
+            campaign.run_campaign(systems=["NotASystem"])
+        with pytest.raises(ValueError):
+            campaign.run_campaign(sites=["no.such.site"])
+        with pytest.raises(ValueError):
+            campaign.run_campaign(disabled=["no_such_policy"])
+
+
+class TestAblation:
+    def test_disabling_legacy_fallback_breaks_resilience(self):
+        artifact = campaign.run_campaign(
+            systems=["ShadowContext"], sites=["hw.entry_corrupt"],
+            ops=4, seed=11, workers=1, disabled=["legacy_fallback"])
+        assert artifact["summary"]["invariant_violations"] > 0
+
+
+class TestCLI:
+    def test_clean_campaign_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "faults.json"
+        code = cli.main(["--ops", "3", "--seed", "5", "--workers", "1",
+                        "--out", str(out)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "fault matrix" in captured.out
+        artifact = json.loads(out.read_text())
+        assert artifact["schema"] == campaign.SCHEMA
+        assert validate(artifact, load_schema("faults")) == []
+
+    def test_broken_recovery_exits_nonzero(self, capsys):
+        code = cli.main(["--systems", "ShadowContext",
+                        "--sites", "hw.entry_corrupt",
+                        "--ops", "4", "--seed", "11", "--workers", "1",
+                        "--quiet", "--disable-recovery",
+                        "legacy_fallback"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "invariant-violation" in captured.err
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert cli.main(["--sites", "no.such.site", "--workers", "1"]) == 2
+        assert cli.main(["--ops", "0"]) == 2
+        capsys.readouterr()
+
+
+class TestTrajectoryRecording:
+    def test_extract_series_from_faults_artifact(self, full_artifact):
+        from repro.analysis.trajectory import extract_series
+        series = extract_series(full_artifact)
+        assert series["faults.sites_exercised"]["value"] == len(SITE_NAMES)
+        assert series["faults.sites_exercised"]["direction"] == "higher"
+        assert series["faults.recovered_percent"]["value"] == 100.0
+        assert series["faults.invariant_violations"]["value"] == 0
+        assert series["faults.invariant_violations"]["direction"] == "lower"
+
+    def test_record_into_trajectory_ledger(self, full_artifact, tmp_path):
+        from repro.analysis import trajectory
+        artifact_path = tmp_path / "FAULTS.json"
+        campaign.write_artifact(full_artifact, str(artifact_path))
+        ledger_path = tmp_path / "TRAJECTORY.json"
+        code = trajectory.main(["--trajectory", str(ledger_path),
+                                "--record", str(artifact_path),
+                                "--label", "test-faults"])
+        assert code == 0
+        ledger = json.loads(ledger_path.read_text())
+        assert validate(ledger, load_schema("trajectory")) == []
+        entry = ledger["entries"][-1]
+        assert entry["label"] == "test-faults"
+        assert "faults.recovered_percent" in entry["series"]

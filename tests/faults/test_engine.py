@@ -1,0 +1,159 @@
+"""Unit tests for the fault engine, plans, and seeded schedules."""
+
+import pytest
+
+from repro import faults, telemetry
+from repro.errors import CalleeHang, GuestOSError, VMFuncFault
+from repro.faults import FaultEngine, FaultPlan, seeded_plan, seeded_schedule
+from repro.faults.sites import SITES, SITE_NAMES
+
+
+class TestSeededSchedules:
+    def test_same_seed_same_schedule(self):
+        a = seeded_schedule(7, "Proxos:hw.entry_revoked", ops=10, fires=3)
+        b = seeded_schedule(7, "Proxos:hw.entry_revoked", ops=10, fires=3)
+        assert a == b
+
+    def test_different_key_different_schedule(self):
+        a = seeded_schedule(7, "cell-a", ops=50, fires=10)
+        b = seeded_schedule(7, "cell-b", ops=50, fires=10)
+        assert a != b
+
+    def test_schedule_sorted_unique_in_range(self):
+        sched = seeded_schedule(3, "k", ops=20, fires=8)
+        assert list(sched) == sorted(set(sched))
+        assert all(0 <= i < 20 for i in sched)
+        assert len(sched) == 8
+
+    def test_fires_clamped_to_ops(self):
+        assert len(seeded_schedule(0, "k", ops=3, fires=99)) == 3
+
+    def test_seeded_plan_roundtrip(self):
+        plan = seeded_plan("hw.entry_revoked", 5, key="x", ops=8, fires=2)
+        assert plan.site == "hw.entry_revoked"
+        assert plan.budget == 2
+        assert len(plan.schedule) == 2
+
+
+class TestEngineSemantics:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEngine([FaultPlan(site="no.such.site", schedule=(0,))])
+
+    def test_inert_outside_operations(self):
+        engine = FaultEngine(
+            [FaultPlan(site="core.callee_stall", schedule=(0,))])
+        # op_index == -1: warm-up traffic never triggers faults
+        assert engine.fire("core.call.handler") is None
+        assert engine.fired_counts() == {}
+
+    def test_fires_only_on_scheduled_ops(self):
+        engine = FaultEngine(
+            [FaultPlan(site="core.callee_stall", schedule=(1,), budget=5)])
+        engine.begin_operation(0)
+        assert engine.fire("core.call.handler") is None
+        engine.end_operation()
+        engine.begin_operation(1)
+        with pytest.raises(CalleeHang):
+            engine.fire("core.call.handler")
+        engine.end_operation()
+        assert engine.fired_counts() == {"core.callee_stall": 1}
+
+    def test_at_most_once_per_operation(self):
+        engine = FaultEngine(
+            [FaultPlan(site="core.callee_stall", schedule=(0,), budget=5)])
+        engine.begin_operation(0)
+        with pytest.raises(CalleeHang):
+            engine.fire("core.call.handler")
+        # retries within the same operation see a healthy datapath
+        assert engine.fire("core.call.handler") is None
+        engine.end_operation()
+
+    def test_budget_caps_total_fires(self):
+        engine = FaultEngine(
+            [FaultPlan(site="hypervisor.hypercall_reject",
+                       schedule=(0, 1, 2), budget=2)])
+        fired = 0
+        for index in range(3):
+            engine.begin_operation(index)
+            try:
+                engine.fire("hv.hypercall")
+            except GuestOSError:
+                fired += 1
+            engine.end_operation()
+        assert fired == 2
+
+    def test_match_filters_context(self):
+        engine = FaultEngine(
+            [FaultPlan(site="hw.vmfunc_fault", schedule=(0,))])
+        engine.begin_operation(0)
+        assert engine.fire("hw.vmfunc", function=1, argument=0) is None
+        with pytest.raises(VMFuncFault):
+            engine.fire("hw.vmfunc", function=0, argument=0)
+        engine.end_operation()
+
+    def test_trigger_gates_firing(self):
+        engine = FaultEngine(
+            [FaultPlan(site="core.callee_stall", schedule=(0,),
+                       trigger=lambda ctx: False)])
+        engine.begin_operation(0)
+        assert engine.fire("core.call.handler") is None
+        engine.end_operation()
+        assert engine.fired_counts() == {}
+
+    def test_undo_runs_newest_first_at_end_of_op(self):
+        engine = FaultEngine(
+            [FaultPlan(site="core.callee_stall", schedule=())])
+        order = []
+        engine.begin_operation(0)
+        engine.add_undo(lambda: order.append("first"))
+        engine.add_undo(lambda: order.append("second"))
+        engine.end_operation()
+        assert order == ["second", "first"]
+        assert engine.op_index == -1
+
+    def test_fire_reports_to_telemetry(self):
+        engine = FaultEngine(
+            [FaultPlan(site="core.callee_stall", schedule=(0,))])
+        with telemetry.scoped("t") as session:
+            engine.begin_operation(0)
+            with pytest.raises(CalleeHang):
+                engine.fire("core.call.handler")
+            engine.end_operation()
+            counters = session.metrics.snapshot()["counters"]
+        assert counters["faults.injected{site=core.callee_stall}"] == 1
+
+
+class TestInstallation:
+    def test_install_uninstall(self):
+        engine = FaultEngine([])
+        assert not faults.enabled()
+        faults.install(engine)
+        try:
+            assert faults.enabled()
+            assert faults.current() is engine
+        finally:
+            faults.uninstall()
+        assert not faults.enabled()
+
+    def test_scoped_restores_previous(self):
+        outer = FaultEngine([])
+        inner = FaultEngine([])
+        with faults.scoped(outer):
+            with faults.scoped(inner):
+                assert faults.current() is inner
+            assert faults.current() is outer
+        assert faults.current() is None
+
+
+class TestSiteCatalog:
+    def test_twelve_sites_across_three_layers(self):
+        assert len(SITE_NAMES) >= 12
+        layers = {site.layer for site in SITES.values()}
+        assert layers == {"hw", "hypervisor", "core"}
+
+    def test_site_names_match_layer_prefix(self):
+        for name, site in SITES.items():
+            assert site.name == name
+            assert name.split(".", 1)[0] == site.layer
+            assert site.doc

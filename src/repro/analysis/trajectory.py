@@ -62,7 +62,8 @@ def extract_series(bench: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         summary = bench.get("summary", {})
         for name, direction in (("sites_exercised", "higher"),
                                 ("recovered_percent", "higher"),
-                                ("invariant_violations", "lower")):
+                                ("invariant_violations", "lower"),
+                                ("sites_detected", "higher")):
             value = summary.get(name)
             if isinstance(value, (int, float)):
                 series[f"faults.{name}"] = {

@@ -1,0 +1,256 @@
+"""Pluggable anomaly detectors over a verified flight-recorder log.
+
+Each detector is a function ``fn(log, *, baseline=None) -> [anomaly]``
+registered in :data:`DETECTORS`; an anomaly is
+``{detector, seq, message}`` (plus detector-specific fields).  Run them
+all with :func:`run_detectors`.
+
+Honesty rule: detectors never read ``fam: "fault"`` records.  Those
+markers exist only because our faults are *injected* (the engine
+politely logs where it fired, for offline correlation); a production
+fault would leave no such courtesy marker, so a detector that keyed on
+them would be grading itself with the answer sheet.  Every detector
+works from the datapath records alone.
+
+The built-ins:
+
+``chain_break``      the hash chain fails offline verification
+                     (delegates to :func:`repro.audit.chain.
+                     verify_chain`).
+``forged_wid``       a software-layer record presents a caller WID the
+                     hardware never authenticated: the authentic set is
+                     the WIDs carried by ``fam: hw`` ``world_call``
+                     records (unforgeable, per Section 3.4), and any
+                     ``core`` authorization/call record citing a WID
+                     outside it is flagged.
+``denial_burst``     two or more ``deny`` decisions (authorization or
+                     hypercall) within a 50-record window — the classic
+                     probe signature.
+``injection_storm``  a run of four or more back-to-back virtual-IRQ
+                     deliveries of the same vector with no interleaved
+                     datapath activity; clean operation alternates
+                     inject/deliver, so runs stay at length 1.
+``crossing_drift``   a top-level operation whose record fingerprint
+                     (kind counts + mapping-epoch delta) differs from
+                     the baseline fingerprint for the workload.  The
+                     baseline is passed explicitly (the campaign uses a
+                     warmed-up clean operation) or, failing that, the
+                     most common fingerprint in the log itself.  The
+                     first bracket is always exempt: cold caches make a
+                     process's first operation legitimately different.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.audit import chain as _chain
+from repro.audit import graph as _graph
+
+Detector = Callable[..., List[Dict[str, Any]]]
+
+#: Registry of anomaly detectors, in evaluation order.
+DETECTORS: Dict[str, Detector] = {}
+
+#: denial_burst: this many denies ...
+DENIAL_BURST_COUNT = 2
+#: ... within a window of this many records.
+DENIAL_BURST_WINDOW = 50
+
+#: injection_storm: back-to-back same-vector deliveries to flag.
+STORM_RUN_LENGTH = 4
+
+
+def detector(name: str) -> Callable[[Detector], Detector]:
+    def register(fn: Detector) -> Detector:
+        DETECTORS[name] = fn
+        return fn
+    return register
+
+
+def _anomaly(name: str, seq: Optional[int], message: str,
+             **extra: Any) -> Dict[str, Any]:
+    out: Dict[str, Any] = {"detector": name, "seq": seq,
+                           "message": message}
+    out.update(extra)
+    return out
+
+
+def _datapath(log: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The records detectors may look at (no trace noise, no injected-
+    fault markers)."""
+    return [r for r in log.get("records", [])
+            if r["fam"] not in ("trace", "fault")]
+
+
+@detector("chain_break")
+def chain_break(log: Dict[str, Any], *,
+                baseline: Any = None) -> List[Dict[str, Any]]:
+    return [_anomaly("chain_break", v["seq"], v["message"],
+                     check=v["check"])
+            for v in _chain.verify_chain(log)]
+
+
+@detector("forged_wid")
+def forged_wid(log: Dict[str, Any], *,
+               baseline: Any = None) -> List[Dict[str, Any]]:
+    authentic = set()
+    for record in log.get("records", []):
+        if record["fam"] == "hw" and record["kind"] == "world_call":
+            authentic.add(record["caller_wid"])
+            authentic.add(record["callee_wid"])
+    if not authentic:
+        # No hardware world_call records — legacy-only log, no ground
+        # truth to compare software claims against.
+        return []
+    anomalies = []
+    for record in _datapath(log):
+        if record["fam"] != "core":
+            continue
+        for field in ("caller_wid", "callee_wid"):
+            wid = record[field]
+            if wid is not None and wid not in authentic:
+                anomalies.append(_anomaly(
+                    "forged_wid", record["seq"],
+                    f"{record['kind']} record cites {field} {wid}, "
+                    f"which the hardware never authenticated "
+                    f"(authentic WIDs: {sorted(authentic)})",
+                    wid=wid))
+    return anomalies
+
+
+@detector("denial_burst")
+def denial_burst(log: Dict[str, Any], *,
+                 baseline: Any = None) -> List[Dict[str, Any]]:
+    denies = [r for r in _datapath(log) if r["decision"] == "deny"]
+    anomalies = []
+    for index in range(DENIAL_BURST_COUNT - 1, len(denies)):
+        window = denies[index - DENIAL_BURST_COUNT + 1: index + 1]
+        span = window[-1]["seq"] - window[0]["seq"]
+        if span <= DENIAL_BURST_WINDOW:
+            anomalies.append(_anomaly(
+                "denial_burst", window[-1]["seq"],
+                f"{DENIAL_BURST_COUNT} denials within {span} records "
+                f"(seqs {[r['seq'] for r in window]})",
+                seqs=[r["seq"] for r in window]))
+    return anomalies
+
+
+@detector("injection_storm")
+def injection_storm(log: Dict[str, Any], *,
+                    baseline: Any = None) -> List[Dict[str, Any]]:
+    anomalies = []
+    run_vector: Optional[str] = None
+    run: List[int] = []
+
+    def flush() -> None:
+        if run_vector is not None and len(run) >= STORM_RUN_LENGTH:
+            anomalies.append(_anomaly(
+                "injection_storm", run[-1],
+                f"{len(run)} back-to-back deliveries of {run_vector} "
+                f"with no interleaved datapath activity "
+                f"(seqs {run[0]}..{run[-1]})",
+                vector=run_vector, count=len(run)))
+
+    for record in _datapath(log):
+        if record["kind"] == "virq_deliver":
+            vector = record["detail"]
+            if vector == run_vector:
+                run.append(record["seq"])
+            else:
+                flush()
+                run_vector, run = vector, [record["seq"]]
+        else:
+            flush()
+            run_vector, run = None, []
+    flush()
+    return anomalies
+
+
+def bracket_fingerprints(log: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per top-level bracket: the drift-detection fingerprint.
+
+    A fingerprint is the sorted (fam, kind) record counts inside the
+    bracket (trace and fault records excluded) plus the mapping-epoch
+    delta across it — cheap, order-insensitive, and sensitive to every
+    behavioural change the fault catalog induces (extra WTC services,
+    revalidations, recoveries, denials, missing call_ends, epoch
+    bumps).
+    """
+    fingerprints = []
+    records = log.get("records", [])
+    by_seq = {r["seq"]: r for r in records}
+    for node in _graph.brackets(log):
+        start, end = node["start_seq"], node["end_seq"]
+        last = end if end is not None else (
+            records[-1]["seq"] if records else start)
+        counts: Counter = Counter()
+        epochs = []
+        for seq in range(start, last + 1):
+            record = by_seq.get(seq)
+            if record is None or record["fam"] in ("trace", "fault"):
+                continue
+            counts[f"{record['fam']}.{record['kind']}"] += 1
+            epochs.append(record["epoch"])
+        fingerprints.append({
+            "label": node["label"],
+            "start_seq": start,
+            "end_seq": end,
+            "counts": dict(sorted(counts.items())),
+            "epoch_delta": (epochs[-1] - epochs[0]) if epochs else 0,
+        })
+    return fingerprints
+
+
+def fingerprint_key(fingerprint: Dict[str, Any]) -> str:
+    parts = [f"{kind}={count}" for kind, count in
+             sorted(fingerprint["counts"].items())]
+    parts.append(f"epoch_delta={fingerprint['epoch_delta']}")
+    return " ".join(parts)
+
+
+@detector("crossing_drift")
+def crossing_drift(log: Dict[str, Any], *,
+                   baseline: Optional[Dict[str, Any]] = None
+                   ) -> List[Dict[str, Any]]:
+    fingerprints = bracket_fingerprints(log)
+    # The first bracket is cold-start (cache fills, watchdog arming)
+    # and legitimately unlike steady state.
+    candidates = fingerprints[1:]
+    if not candidates:
+        return []
+    if baseline is None:
+        keys = Counter(fingerprint_key(fp) for fp in candidates)
+        top = max(keys.values())
+        # Modal fingerprint; earliest occurrence breaks ties.
+        modal = next(key for key in
+                     (fingerprint_key(fp) for fp in candidates)
+                     if keys[key] == top)
+        baseline_key = modal
+    else:
+        baseline_key = fingerprint_key(baseline)
+    anomalies = []
+    for fp in candidates:
+        key = fingerprint_key(fp)
+        if key != baseline_key:
+            anomalies.append(_anomaly(
+                "crossing_drift", fp["start_seq"],
+                f"operation {fp['label']!r} drifted from baseline: "
+                f"{key} != {baseline_key}",
+                fingerprint=key, baseline=baseline_key))
+    return anomalies
+
+
+def run_detectors(log: Dict[str, Any], *,
+                  baseline: Optional[Dict[str, Any]] = None,
+                  names: Optional[List[str]] = None
+                  ) -> List[Dict[str, Any]]:
+    """Run the named detectors (default: all) and concatenate their
+    anomalies, in registry order."""
+    anomalies = []
+    for name, fn in DETECTORS.items():
+        if names is not None and name not in names:
+            continue
+        anomalies.extend(fn(log, baseline=baseline))
+    return anomalies

@@ -1,0 +1,221 @@
+"""Causal reconstruction of a flight-recorder log.
+
+The recorder emits a *flat* sequence of records; this module rebuilds
+the structure a human asks about:
+
+* :func:`brackets` — pair up ``*_begin`` / ``*_end`` records (world
+  calls, cross-VM calls, case-study syscall redirects) into a nesting
+  forest, each bracket carrying the modeled-cycle delta between its
+  endpoints.
+* :func:`bracket_crossings` — replay the ``fam: trace`` records inside
+  each top-level bracket into a Figure-2-style collapsed world path
+  (exactly :meth:`repro.hw.trace.TransitionTrace.path`) and count its
+  crossings.  This is the independent view the span tracer is
+  crosschecked against.
+* :func:`build_graph` — the who-called-whom graph: nodes are worlds and
+  WIDs, edges aggregate transition counts and cycle rollups; plus the
+  bracket forest.
+* :func:`to_dot` — Graphviz rendering of the aggregated edges.
+
+Everything here is a pure function of the exported log dict — it runs
+offline, after :func:`repro.audit.chain.verify_chain` has established
+the log can be trusted.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: begin-kind -> (end-kind, bracket label)
+BRACKET_KINDS = {
+    "call_begin": "call_end",
+    "crossvm_begin": "crossvm_end",
+    "redirect_begin": "redirect_end",
+}
+
+_END_KINDS = frozenset(BRACKET_KINDS.values())
+
+
+def _bracket_label(begin: Dict[str, Any]) -> str:
+    kind = begin["kind"]
+    if kind == "call_begin":
+        return f"call {begin['caller_wid']}->{begin['callee_wid']}"
+    if kind == "crossvm_begin":
+        return f"crossvm {begin['frm']}->{begin['to']}"
+    return f"{begin['frm']}:{begin['detail']}"
+
+
+def brackets(log: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The nesting forest of begin/end bracket pairs.
+
+    Returns the top-level brackets (depth 0); nested brackets hang off
+    their parents' ``children``.  Each bracket is::
+
+        {kind, label, start_seq, end_seq, cycles, outcome,
+         trace_records, children}
+
+    ``cycles`` is the modeled-cycle delta between the end and begin
+    records; ``trace_records`` are the ``fam: trace`` records emitted
+    while the bracket was the innermost open one (so a parent does not
+    double-count its children's transitions); an unclosed bracket has
+    ``end_seq: None``.
+    """
+    roots: List[Dict[str, Any]] = []
+    stack: List[Dict[str, Any]] = []
+    for record in log.get("records", []):
+        kind = record["kind"]
+        if record["fam"] == "trace":
+            if stack:
+                stack[-1]["trace_records"].append(record)
+            continue
+        if kind in BRACKET_KINDS:
+            node = {
+                "kind": kind[: -len("_begin")],
+                "label": _bracket_label(record),
+                "start_seq": record["seq"],
+                "end_seq": None,
+                "cycles": None,
+                "outcome": None,
+                "trace_records": [],
+                "children": [],
+                "_begin": record,
+            }
+            (stack[-1]["children"] if stack else roots).append(node)
+            stack.append(node)
+        elif kind in _END_KINDS:
+            # Close the innermost matching bracket; anything opened
+            # inside it that never closed (a call abandoned by a fault)
+            # stays an unclosed child.
+            for depth in range(len(stack) - 1, -1, -1):
+                if BRACKET_KINDS[stack[depth]["kind"] + "_begin"] == kind:
+                    node = stack[depth]
+                    for orphan in stack[depth + 1:]:
+                        orphan.pop("_begin", None)
+                    del stack[depth:]
+                    begin = node.pop("_begin")
+                    node["end_seq"] = record["seq"]
+                    node["cycles"] = record["cycles"] - begin["cycles"]
+                    node["outcome"] = record["detail"] or None
+                    break
+    for node in stack:  # unclosed brackets (e.g. a call that faulted)
+        node.pop("_begin", None)
+    return roots
+
+
+def _all_trace_records(node: Dict[str, Any]) -> List[Dict[str, Any]]:
+    records = list(node["trace_records"])
+    for child in node["children"]:
+        records.extend(_all_trace_records(child))
+    records.sort(key=lambda r: r["seq"])
+    return records
+
+
+def _collapsed_path(trace_records: List[Dict[str, Any]]) -> List[str]:
+    """Figure-2 world path: source of the first event, then every
+    destination, consecutive duplicates merged (same collapse as
+    :meth:`~repro.hw.trace.TransitionTrace.path`)."""
+    if not trace_records:
+        return []
+    worlds = [trace_records[0]["frm"]]
+    for record in trace_records:
+        if record["to"] != worlds[-1]:
+            worlds.append(record["to"])
+    return worlds
+
+
+def bracket_crossings(log: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per top-level bracket: the replayed world path and its crossing
+    count (``len(path) - 1``, 0 for an empty path)."""
+    out = []
+    for node in brackets(log):
+        path = _collapsed_path(_all_trace_records(node))
+        out.append({
+            "label": node["label"],
+            "kind": node["kind"],
+            "start_seq": node["start_seq"],
+            "end_seq": node["end_seq"],
+            "path": path,
+            "crossings": max(0, len(path) - 1),
+        })
+    return out
+
+
+def _strip(node: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "kind": node["kind"],
+        "label": node["label"],
+        "start_seq": node["start_seq"],
+        "end_seq": node["end_seq"],
+        "cycles": node["cycles"],
+        "outcome": node["outcome"],
+        "crossings": max(0, len(_collapsed_path(
+            _all_trace_records(node))) - 1),
+        "children": [_strip(child) for child in node["children"]],
+    }
+
+
+def build_graph(log: Dict[str, Any]) -> Dict[str, Any]:
+    """The causal call graph: nodes, aggregated edges, bracket forest.
+
+    Edges come from three sources:
+
+    * ``fam: trace`` records — one edge per (frm, to, kind), counting
+      occurrences and rolling up the per-event cycle charges;
+    * ``fam: hw`` ``world_call`` records — the hardware-authenticated
+      WID edge (``wid:caller -> wid:callee``), counted;
+    * call brackets — ``wid:caller -> wid:callee`` with the modeled
+      cycle delta of the whole bracket rolled up.
+    """
+    edges: Dict[Tuple[str, str, str], Dict[str, Any]] = {}
+    nodes = set()
+
+    def bump(frm: str, to: str, kind: str, cycles: Optional[int]) -> None:
+        nodes.add(frm)
+        nodes.add(to)
+        edge = edges.setdefault((frm, to, kind), {
+            "frm": frm, "to": to, "kind": kind, "count": 0, "cycles": 0})
+        edge["count"] += 1
+        if cycles is not None:
+            edge["cycles"] += cycles
+
+    for record in log.get("records", []):
+        if record["fam"] == "trace":
+            bump(record["frm"], record["to"], record["kind"],
+                 record["cycles"])
+        elif record["fam"] == "hw" and record["kind"] == "world_call":
+            bump(f"wid:{record['caller_wid']}",
+                 f"wid:{record['callee_wid']}", "world_call", None)
+
+    def walk(node: Dict[str, Any]) -> None:
+        if node["kind"] == "call" and node["cycles"] is not None:
+            begin_label = node["label"][len("call "):]
+            caller, _, callee = begin_label.partition("->")
+            bump(f"wid:{caller}", f"wid:{callee}", "call", node["cycles"])
+        for child in node["children"]:
+            walk(child)
+
+    forest = brackets(log)
+    for node in forest:
+        walk(node)
+
+    return {
+        "nodes": sorted(nodes),
+        "edges": [edges[key] for key in sorted(edges)],
+        "forest": [_strip(node) for node in forest],
+    }
+
+
+def to_dot(graph: Dict[str, Any]) -> str:
+    """Graphviz rendering of the aggregated edges."""
+    lines = ["digraph audit {", "  rankdir=LR;",
+             '  node [shape=box, fontname="monospace"];']
+    for node in graph["nodes"]:
+        lines.append(f'  "{node}";')
+    for edge in graph["edges"]:
+        label = f"{edge['kind']} x{edge['count']}"
+        if edge["cycles"]:
+            label += f" ({edge['cycles']} cyc)"
+        lines.append(f'  "{edge["frm"]}" -> "{edge["to"]}" '
+                     f'[label="{label}"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"

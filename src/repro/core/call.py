@@ -28,6 +28,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro import audit as _audit
 from repro import faults as _faults
 from repro import telemetry
 from repro.core import convention, fastpath
@@ -109,6 +110,9 @@ class WorldCallRuntime:
         session = telemetry._session
         if session is not None:
             session.on_recovery(policy)
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_recovery(policy)
 
     # ------------------------------------------------------------------
     # setup (one-time, Section 3.3 "World-call setup")
@@ -232,13 +236,26 @@ class WorldCallRuntime:
             # stands, so no hypervisor round trip is charged.
             hypervisor.armed_timeouts[cpu.cpu_id] = (
                 caller.entry, caller.watchdog_budget)
+        # The recorder is captured once so the begin/end bracket always
+        # lands in the same log even if the recorder is swapped mid-call.
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_call_begin(caller.wid, callee_wid,
+                                   cpu.perf.cycles)
+        outcome = "ok"
         try:
             return self._call_recoverable(caller, callee_wid, payload,
                                           authorize=authorize)
+        except BaseException as exc:
+            outcome = type(exc).__name__
+            raise
         finally:
             armed = hypervisor.armed_timeouts.get(cpu.cpu_id)
             if armed is not None and armed[0] is caller.entry:
                 del hypervisor.armed_timeouts[cpu.cpu_id]
+            if recorder is not None:
+                recorder.on_call_end(caller.wid, callee_wid,
+                                     cpu.perf.cycles, outcome)
 
     def _call_recoverable(self, caller: World, callee_wid: int,
                           payload: Any, *, authorize: bool) -> Any:
@@ -514,9 +531,17 @@ class WorldCallRuntime:
                         cpu.perf.charge("sched_reload", _SCHED_RELOAD)
                 if authorize:
                     cpu.charge("world_authorize")
+                    recorder = _audit._recorder
                     try:
                         callee.policy.check(caller.wid)
+                        if recorder is not None:
+                            recorder.on_authorization(
+                                caller.wid, callee_wid, "allow")
                     except AuthorizationDenied as denied:
+                        if recorder is not None:
+                            recorder.on_authorization(
+                                caller.wid, callee_wid, "deny",
+                                denied.detail or str(denied))
                         error = denied
                 if error is None:
                     request = CallRequest(
@@ -583,6 +608,7 @@ class WorldCallRuntime:
             if authorize:
                 if not fused_entry:
                     cpu.charge("world_authorize")
+                recorder = _audit._recorder
                 try:
                     if _faults._engine is not None:
                         _faults._engine.fire("core.call.authorize",
@@ -590,7 +616,14 @@ class WorldCallRuntime:
                                              caller_wid=caller_wid)
                     callee.policy.check(caller_wid)
                 except AuthorizationDenied as denied:
+                    if recorder is not None:
+                        recorder.on_authorization(
+                            caller_wid, callee_wid, "deny",
+                            denied.detail or str(denied))
                     return ("__denied__", denied.detail or str(denied))
+                if recorder is not None:
+                    recorder.on_authorization(caller_wid, callee_wid,
+                                              "allow")
             if in_registers:
                 payload = convention.decode(wire)
             else:

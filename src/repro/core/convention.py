@@ -21,6 +21,7 @@ import zlib
 from collections import OrderedDict
 from typing import Any
 
+from repro import audit as _audit
 from repro import faults as _faults
 from repro import telemetry as _telemetry
 from repro.core import fastpath
@@ -428,6 +429,9 @@ def encode(value: Any) -> bytes:
                     session = _telemetry._session
                     if session is not None:
                         session.on_recovery("marshal_repair")
+                    recorder = _audit._recorder
+                    if recorder is not None:
+                        recorder.on_marshal_repair()
             _encode_cache.move_to_end(key)
             cache_stats["encode_hits"] += 1
             return cached

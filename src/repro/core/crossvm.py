@@ -36,6 +36,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, Dict, Optional, Tuple
 
+from repro import audit as _audit
 from repro import faults as _faults
 from repro import telemetry
 from repro.core import convention, fastpath
@@ -214,6 +215,26 @@ class CrossVMSyscallMechanism:
 
     def _roundtrip(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
                    request_obj: Any, server: Callable[[Any], Any]) -> Any:
+        recorder = _audit._recorder
+        if recorder is None:
+            return self._roundtrip_observed(from_vm, to_vm, request_obj,
+                                            server)
+        cycles = self.machine.cpu.perf.cycles
+        recorder.on_crossvm_begin(from_vm.name, to_vm.name, cycles)
+        outcome = "ok"
+        try:
+            return self._roundtrip_observed(from_vm, to_vm, request_obj,
+                                            server)
+        except BaseException as exc:
+            outcome = type(exc).__name__
+            raise
+        finally:
+            recorder.on_crossvm_end(from_vm.name, to_vm.name,
+                                    self.machine.cpu.perf.cycles, outcome)
+
+    def _roundtrip_observed(self, from_vm: VirtualMachine,
+                            to_vm: VirtualMachine, request_obj: Any,
+                            server: Callable[[Any], Any]) -> Any:
         session = telemetry._session
         if session is None:
             return self._roundtrip_impl(from_vm, to_vm, request_obj, server)
@@ -339,6 +360,9 @@ class CrossVMSyscallMechanism:
         session = telemetry._session
         if session is not None:
             session.on_recovery("crossvm_legacy")
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_recovery("crossvm_legacy")
         if isinstance(outcome, GuestOSError):
             raise outcome
         return outcome

@@ -51,6 +51,13 @@ ControlFlowViolation    caller-saved return state       (CFI check in the
                         detects mismatched returns      runtime return path)
 WorldQuotaExceeded      per-VM world-creation quota     (quota check at
                         (DoS on the world table)        create_world)
+AuditViolation          hash-chained flight-recorder    (offline: chain break
+                        records make truncation and     or crosscheck mismatch
+                        tampering detectable offline;   found by
+                        chaining is worthwhile because  ``crossover-audit
+                        the recorded WIDs are the       verify``, not injected)
+                        hardware-authenticated ones
+                        of Section 3.4
 ======================  ==============================  ==========================
 """
 
@@ -79,6 +86,7 @@ __all__ = [
     "CalleeHang",
     "ControlFlowViolation",
     "WorldQuotaExceeded",
+    "AuditViolation",
     # -- simulator usage errors
     "SimulationError",
     "ConfigurationError",
@@ -231,6 +239,26 @@ class ControlFlowViolation(WorldCallError):
 
 class WorldQuotaExceeded(WorldCallError):
     """A VM tried to create more worlds than its hypervisor quota allows."""
+
+
+class AuditViolation(CrossOverError):
+    """An audit log failed offline verification.
+
+    Raised when the flight recorder's hash chain is broken (a record
+    was mutated, reordered, or the tail truncated) or when the log's
+    causal reconstruction disagrees with an independent view of the
+    same activity (span tracer / Figure-2 crosscheck).  ``seq`` names
+    the offending record when one can be identified; ``check`` names
+    the failed verification step (``link``, ``seq``, ``final``,
+    ``genesis``, ``crosscheck``).
+    """
+
+    def __init__(self, message: str, *, seq: "int | None" = None,
+                 check: str = "") -> None:
+        self.seq = seq
+        self.check = check
+        where = f" (seq {seq})" if seq is not None else ""
+        super().__init__(f"audit violation{where}: {message}")
 
 
 # ---------------------------------------------------------------------------

@@ -37,7 +37,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro import faults, telemetry
+from repro import audit, faults, telemetry
 from repro.analysis import parallel
 from repro.analysis.experiments import CELL_RUNNERS
 from repro.errors import AuthorizationDenied, CallTimeout
@@ -266,6 +266,7 @@ def run_fault_cell(system: str, site_name: str, ops: int, seed: int,
     under a seeded schedule for ``site_name``.  Self-contained: builds
     its own machine and fault engine, so it runs identically in-process
     or inside a fork worker."""
+    from repro.audit import detectors as audit_detectors
     from repro.core import convention, fastpath
 
     site = SITES[site_name]
@@ -277,10 +278,16 @@ def run_fault_cell(system: str, site_name: str, ops: int, seed: int,
     outcomes = {label: 0 for label in OUTCOMES}
     cycles_clean = cycles_faulted = ops_clean = ops_faulted = 0
     errors: List[str] = []
+    # The recorder is created before the harness so its epoch base
+    # predates any cell activity; cells run trace-off, so the log is
+    # semantic records only.
+    recorder = audit.FlightRecorder(f"{system}:{site_name}")
     try:
         cell = _CELL_KINDS[site.op](system, disabled)
-        with faults.scoped(faults.FaultEngine([plan])) as engine:
+        with audit.scoped(recorder), \
+                faults.scoped(faults.FaultEngine([plan])) as engine:
             expected = repr(cell.operate(site))  # clean warm-up op
+            cell.operate(site)  # steady-state op: the drift baseline
             for index in range(ops):
                 engine.begin_operation(index)
                 legacy_before = cell.legacy_count()
@@ -315,6 +322,13 @@ def run_fault_cell(system: str, site_name: str, ops: int, seed: int,
         if not was_fast:
             fastpath.disable()
         convention.clear_caches()
+    # Blind detection pass: bracket 0 (cold warm-up) is exempt, the
+    # steady-state warm-up op is the explicit drift baseline, and the
+    # detectors never read the engine's fam-"fault" courtesy markers.
+    log = recorder.to_log()
+    fingerprints = audit_detectors.bracket_fingerprints(log)
+    drift_baseline = fingerprints[1] if len(fingerprints) > 1 else None
+    anomalies = audit_detectors.run_detectors(log, baseline=drift_baseline)
     return {
         "system": system,
         "site": site_name,
@@ -328,6 +342,8 @@ def run_fault_cell(system: str, site_name: str, ops: int, seed: int,
         "cycles_faulted": cycles_faulted,
         "ops_faulted": ops_faulted,
         "errors": errors,
+        "detectors": sorted({a["detector"] for a in anomalies}),
+        "anomalies": len(anomalies),
     }
 
 
@@ -445,6 +461,19 @@ def run_campaign(systems: Optional[Sequence[str]] = None,
         for policy, count in cell["recoveries"].items():
             recoveries[policy] = recoveries.get(policy, 0) + count
 
+    detection: Dict[str, Dict[str, Any]] = {}
+    for cell in cells:
+        entry = detection.setdefault(
+            cell["site"],
+            {"detected": False, "detectors": [], "by_system": {}})
+        if cell["detectors"]:
+            entry["detected"] = True
+            entry["by_system"][cell["system"]] = cell["detectors"]
+            entry["detectors"] = sorted(
+                set(entry["detectors"]) | set(cell["detectors"]))
+    sites_detected = sum(
+        1 for entry in detection.values() if entry["detected"])
+
     sites_exercised = sum(
         1 for site in matrix
         if any(entry["injected"] for entry in matrix[site].values()))
@@ -471,10 +500,12 @@ def run_campaign(systems: Optional[Sequence[str]] = None,
         "totals": {"ops": total_ops, "injected": total_injected,
                    "outcomes": totals_outcomes},
         "recoveries": recoveries,
+        "detection": detection,
         "summary": {
             "sites_exercised": sites_exercised,
             "recovered_percent": recovered_percent,
             "invariant_violations": totals_outcomes["invariant-violation"],
+            "sites_detected": sites_detected,
         },
         "telemetry": counters,
         "crosscheck": _crosscheck(cells, counters),
@@ -511,6 +542,16 @@ def render_matrix(artifact: Dict[str, Any]) -> str:
         f"recovered: {summary['recovered_percent']}%  "
         f"violations: {summary['invariant_violations']}  "
         f"crosscheck: {'ok' if artifact['crosscheck']['ok'] else 'FAILED'}")
+    detection = artifact.get("detection", {})
+    if detection:
+        lines.append(
+            f"audit detection: {summary.get('sites_detected', 0)}"
+            f"/{len(detection)} sites flagged by >=1 blind detector")
+        for site in sorted(detection):
+            entry = detection[site]
+            flag = ",".join(entry["detectors"]) if entry["detectors"] \
+                else "UNDETECTED"
+            lines.append(f"  {site.ljust(width)}{flag}")
     return "\n".join(lines)
 
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from collections import Counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro import audit as _audit
 from repro import telemetry
 
 from .plan import FaultPlan
@@ -90,6 +91,11 @@ class FaultEngine:
             session = telemetry._session
             if session is not None:
                 session.on_fault_injected(plan.site)
+            recorder = _audit._recorder
+            if recorder is not None:
+                # Correlation marker only — detectors ignore fam
+                # "fault" records (see repro.audit.detectors).
+                recorder.on_fault_injected(plan.site)
             value = site.action(self, ctx)
             if value is not None:
                 result = value

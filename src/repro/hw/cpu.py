@@ -14,6 +14,7 @@ from __future__ import annotations
 import enum
 from typing import Optional, TYPE_CHECKING
 
+from repro import audit as _audit
 from repro import faults as _faults
 from repro import telemetry as _telemetry
 from repro.errors import (
@@ -380,6 +381,10 @@ class CPU:
             if charge:
                 self.perf.charge("vmfunc_ept_switch",
                                  self.cost_model.vmfunc_ept_switch)
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_ept_switch(index, self.world_label, self.ring,
+                                   self.perf.cycles)
 
     def _world_call(self, callee_wid: int) -> int:
         """The ``world_call`` datapath (Sections 3.3 and 5.1).
@@ -421,7 +426,9 @@ class CPU:
             callee.ept.translate(entry_gpa, execute=True)
 
         trace_on = self.trace.enabled
-        frm = self.world_label if trace_on else ""
+        recorder = _audit._recorder
+        frm = (self.world_label if trace_on or recorder is not None
+               else "")
         self.mode = Mode.ROOT if callee.host_mode else Mode.NON_ROOT
         self.ring = callee.ring
         self.ept = callee.ept
@@ -438,6 +445,13 @@ class CPU:
             self.trace.record("world_call", frm, self.world_label,
                               f"wid {caller.wid} -> {callee_wid}",
                               hw_cost.cycles, hw_cost.instructions)
+        if recorder is not None:
+            # The semantic audit record: the WIDs here are the ones the
+            # hardware authenticated, independent of the trace events.
+            recorder.on_world_call_hw(
+                caller.wid, callee_wid, frm=frm, to=self.world_label,
+                mode="H" if callee.host_mode else "G", ring=self.ring,
+                cycles=self.perf.cycles)
         return caller.wid
 
     def _lookup_caller(self) -> WorldTableEntry:

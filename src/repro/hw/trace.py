@@ -54,9 +54,12 @@ class TransitionTrace:
         # installed attach automatically; telemetry.attach_machine()
         # rebinds existing traces.  Imported locally: hw.trace is a
         # leaf module and telemetry imports hw.perf.
-        from repro import telemetry
+        from repro import audit, telemetry
         self.observer: Optional[Callable[[TransitionEvent], None]] = (
             telemetry.transition_observer())
+        # Audit hook: same discipline — the module object is bound
+        # here and its ``_recorder`` global is read per event.
+        self._audit = audit
 
     def record(self, kind: str, frm: str, to: str, detail: str = "",
                cycles: int = 0,
@@ -73,6 +76,9 @@ class TransitionTrace:
         observer = self.observer
         if observer is not None:
             observer(event)
+        recorder = self._audit._recorder
+        if recorder is not None:
+            recorder.on_transition(kind, frm, to, detail, cycles)
         return event
 
     def clear(self) -> None:

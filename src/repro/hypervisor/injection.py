@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro import audit as _audit
 from repro import faults as _faults
 from repro import telemetry
 from repro.hw.cpu import CPU
@@ -46,6 +47,9 @@ class Injector:
         session = telemetry._session
         if session is not None:
             session.on_virq_injected(vector, vm.name)
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_virq_inject(vector, vm.name)
 
     def deliver_pending(self, cpu: CPU, vm: VirtualMachine,
                         charge: bool = True) -> int:
@@ -66,6 +70,9 @@ class Injector:
             prior_ring = cpu.ring
             cpu.deliver_irq(vector, detail, charge=charge)
             delivered += 1
+            recorder = _audit._recorder
+            if recorder is not None:
+                recorder.on_virq_deliver(vector, vm.name)
             handler = None
             if cpu.interrupts.idt is not None:
                 handler = cpu.interrupts.idt.handler(vector)

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import audit as _audit
 from repro import faults as _faults
 from repro.errors import (
     NoSuchWorld,
@@ -99,6 +100,9 @@ class WorldService:
         cpu.charge("manage_wtc")
         cpu.wt_caches.fill(entry)
         self.misses_serviced += 1
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_wtc_service(miss.kind, miss.key)
 
     def revalidate(self, cpu: CPU, wid: int) -> bool:
         """Re-validate a world after a faulted ``world_call`` (recovery).
@@ -119,6 +123,9 @@ class WorldService:
         entry.present = True
         cpu.charge("manage_wtc")
         cpu.wt_caches.fill(entry)
+        recorder = _audit._recorder
+        if recorder is not None:
+            recorder.on_revalidate(wid)
         return True
 
     def world_call(self, cpu: CPU, callee_wid: int, *,

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import (Any, Callable, ContextManager, Dict, Iterable, Optional,
                     Set, Tuple)
 
+from repro import audit
 from repro import telemetry
 from repro.core.crossvm import CrossVMSyscallMechanism
 from repro.errors import ConfigurationError, GuestOSError, SimulationError
@@ -93,10 +94,14 @@ class CrossWorldSystem:
         """Execute one syscall in the remote world.
 
         Must be invoked from the local VM's kernel at CPL 0 (i.e. from
-        the syscall dispatcher).  With no telemetry session installed
-        the cost over calling :meth:`_redirect` directly is one module
-        attribute read — this is the measured hot path.
+        the syscall dispatcher).  With no telemetry session and no
+        flight recorder installed the cost over calling
+        :meth:`_redirect` directly is two module attribute reads — this
+        is the measured hot path.
         """
+        recorder = audit._recorder
+        if recorder is not None:
+            return self._redirect_audited(recorder, name, args, kwargs)
         if telemetry._session is None:
             return self._redirect(name, *args, **kwargs)
         span = self._telemetry_span(name)
@@ -104,6 +109,25 @@ class CrossWorldSystem:
             return self._redirect(name, *args, **kwargs)
         with span:
             return self._redirect(name, *args, **kwargs)
+
+    def _redirect_audited(self, recorder, name: str, args: tuple,
+                          kwargs: dict) -> Any:
+        """One redirected call bracketed by audit records (and, when a
+        telemetry session is also installed, its span)."""
+        cpu = self.machine.cpu
+        recorder.on_redirect_begin(self.name, self.variant, name,
+                                   cpu.perf.cycles)
+        try:
+            if telemetry._session is None:
+                return self._redirect(name, *args, **kwargs)
+            span = self._telemetry_span(name)
+            if span is None:
+                return self._redirect(name, *args, **kwargs)
+            with span:
+                return self._redirect(name, *args, **kwargs)
+        finally:
+            recorder.on_redirect_end(self.name, self.variant, name,
+                                     cpu.perf.cycles)
 
     def _redirect(self, name: str, *args, **kwargs) -> Any:
         """Subclass hook: the system's actual redirection path."""

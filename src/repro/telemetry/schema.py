@@ -14,6 +14,7 @@ Usage::
     python -m repro.telemetry.schema bench BENCH_PR3.json
     python -m repro.telemetry.schema trajectory TRAJECTORY.json
     python -m repro.telemetry.schema faults FAULTS_PR4.json
+    python -m repro.telemetry.schema audit AUDIT.json
 """
 
 from __future__ import annotations
@@ -104,8 +105,8 @@ def main(argv=None) -> int:
     args = sys.argv[1:] if argv is None else argv
     if len(args) != 2:
         print("usage: python -m repro.telemetry.schema "
-              "<metrics|chrome_trace|summary|bench|trajectory|faults> "
-              "<file.json>",
+              "<metrics|chrome_trace|summary|bench|trajectory|faults"
+              "|audit> <file.json>",
               file=sys.stderr)
         return 2
     errors = validate_file(args[0], args[1])

@@ -1,0 +1,162 @@
+"""Anomaly detectors over synthetic flight-recorder logs."""
+
+from repro.audit import DETECTORS, FlightRecorder, run_detectors
+from repro.audit.detectors import (
+    DENIAL_BURST_COUNT,
+    STORM_RUN_LENGTH,
+    bracket_fingerprints,
+    fingerprint_key,
+)
+
+
+def _clean_ops(rec, n=3):
+    for i in range(n):
+        rec.on_call_begin(1, 2, cycles=1000 * i)
+        rec.on_world_call_hw(1, 2, frm="K(vm1)", to="K(vm2)", mode="G",
+                             ring=0, cycles=1000 * i + 100)
+        rec.on_authorization(1, 2, "allow")
+        rec.on_world_call_hw(2, 1, frm="K(vm2)", to="K(vm1)", mode="G",
+                             ring=0, cycles=1000 * i + 700)
+        rec.on_call_end(1, 2, cycles=1000 * i + 800, outcome="ok")
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(DETECTORS) >= {"chain_break", "forged_wid",
+                                  "denial_burst", "injection_storm",
+                                  "crossing_drift"}
+
+    def test_clean_log_no_anomalies(self):
+        rec = FlightRecorder("clean")
+        _clean_ops(rec, 4)
+        assert run_detectors(rec.to_log()) == []
+
+    def test_names_filter(self):
+        rec = FlightRecorder("f")
+        _clean_ops(rec)
+        assert run_detectors(rec.to_log(), names=["chain_break"]) == []
+
+
+class TestChainBreakDetector:
+    def test_flags_tampered_log(self):
+        rec = FlightRecorder("t")
+        _clean_ops(rec)
+        log = rec.to_log()
+        log["records"][2]["detail"] = "tampered"
+        anomalies = run_detectors(log, names=["chain_break"])
+        assert anomalies
+        assert anomalies[0]["detector"] == "chain_break"
+        assert anomalies[0]["seq"] == 2
+
+
+class TestForgedWidDetector:
+    def test_flags_unauthenticated_wid(self):
+        rec = FlightRecorder("forged")
+        _clean_ops(rec, 1)
+        rec.on_authorization(0x7FFF_FFFF, 2, "deny", "forged caller")
+        anomalies = run_detectors(rec.to_log(), names=["forged_wid"])
+        assert anomalies
+        assert anomalies[0]["wid"] == 0x7FFF_FFFF
+
+    def test_silent_without_hw_ground_truth(self):
+        rec = FlightRecorder("legacy-only")
+        rec.on_authorization(999, 2, "allow")
+        assert run_detectors(rec.to_log(), names=["forged_wid"]) == []
+
+
+class TestDenialBurstDetector:
+    def test_flags_burst(self):
+        rec = FlightRecorder("burst")
+        for _ in range(DENIAL_BURST_COUNT):
+            rec.on_authorization(1, 2, "deny")
+        anomalies = run_detectors(rec.to_log(), names=["denial_burst"])
+        assert anomalies
+        assert anomalies[0]["detector"] == "denial_burst"
+
+    def test_single_deny_is_quiet(self):
+        rec = FlightRecorder("one-deny")
+        rec.on_authorization(1, 2, "deny")
+        assert run_detectors(rec.to_log(), names=["denial_burst"]) == []
+
+    def test_distant_denies_are_quiet(self):
+        rec = FlightRecorder("spread")
+        rec.on_authorization(1, 2, "deny")
+        for _ in range(60):
+            rec.on_recovery("wtc_refill")
+        rec.on_authorization(1, 2, "deny")
+        assert run_detectors(rec.to_log(), names=["denial_burst"]) == []
+
+
+class TestInjectionStormDetector:
+    def test_flags_storm_run(self):
+        rec = FlightRecorder("storm")
+        for _ in range(STORM_RUN_LENGTH):
+            rec.on_virq_deliver(0x20, "vm2")
+        anomalies = run_detectors(rec.to_log(),
+                                  names=["injection_storm"])
+        assert anomalies
+        assert anomalies[0]["count"] == STORM_RUN_LENGTH
+
+    def test_alternating_inject_deliver_is_quiet(self):
+        rec = FlightRecorder("alternate")
+        for _ in range(STORM_RUN_LENGTH):
+            rec.on_virq_inject(0x20, "vm2")
+            rec.on_virq_deliver(0x20, "vm2")
+        assert run_detectors(rec.to_log(),
+                             names=["injection_storm"]) == []
+
+    def test_mixed_vectors_reset_run(self):
+        rec = FlightRecorder("mixed")
+        for vector in (0x20, 0x21, 0x20, 0x21):
+            rec.on_virq_deliver(vector, "vm2")
+        assert run_detectors(rec.to_log(),
+                             names=["injection_storm"]) == []
+
+
+class TestCrossingDriftDetector:
+    def test_flags_drifted_operation(self):
+        rec = FlightRecorder("drift")
+        _clean_ops(rec, 3)
+        rec.on_call_begin(1, 2, cycles=9000)
+        rec.on_recovery("legacy_fallback")   # no hw hops: degraded op
+        rec.on_call_end(1, 2, cycles=9900, outcome="ok")
+        anomalies = run_detectors(rec.to_log(),
+                                  names=["crossing_drift"])
+        assert anomalies
+        assert anomalies[0]["detector"] == "crossing_drift"
+
+    def test_first_bracket_exempt(self):
+        rec = FlightRecorder("cold-start")
+        rec.on_call_begin(1, 2, cycles=0)
+        rec.on_hypercall(0x10, "vm1", "allow")   # cold-start arming
+        _clean_ops(rec, 0)
+        rec.on_call_end(1, 2, cycles=500, outcome="ok")
+        _clean_ops(rec, 3)
+        assert run_detectors(rec.to_log(),
+                             names=["crossing_drift"]) == []
+
+    def test_explicit_baseline(self):
+        rec = FlightRecorder("baseline")
+        _clean_ops(rec, 4)
+        fingerprints = bracket_fingerprints(rec.to_log())
+        assert len(fingerprints) == 4
+        baseline = fingerprints[1]
+        assert run_detectors(rec.to_log(), baseline=baseline) == []
+        assert (fingerprint_key(fingerprints[2])
+                == fingerprint_key(baseline))
+
+    def test_honesty_fault_markers_ignored(self):
+        """An op that differs ONLY by the engine's courtesy marker must
+        not be flagged — detectors grade from datapath records alone."""
+        rec = FlightRecorder("honesty")
+        _clean_ops(rec, 2)
+        rec.on_call_begin(1, 2, cycles=5000)
+        rec.on_fault_injected("hw.wt_cache_incoherence")
+        rec.on_world_call_hw(1, 2, frm="K(vm1)", to="K(vm2)", mode="G",
+                             ring=0, cycles=5100)
+        rec.on_authorization(1, 2, "allow")
+        rec.on_world_call_hw(2, 1, frm="K(vm2)", to="K(vm1)", mode="G",
+                             ring=0, cycles=5700)
+        rec.on_call_end(1, 2, cycles=5800, outcome="ok")
+        assert run_detectors(rec.to_log(),
+                             names=["crossing_drift"]) == []

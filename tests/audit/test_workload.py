@@ -1,0 +1,110 @@
+"""Recorded workload cells: crosschecks against the span tracer and
+the paper's Figure-2 counts, worker-count determinism, offline
+verification, schema validity."""
+
+import json
+
+import pytest
+
+from repro.audit import graph, workload
+from repro.telemetry.schema import load_schema, validate
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    """A reduced recorded workload (two systems, serial)."""
+    return workload.record_workload(systems=("Proxos", "HyperShell"),
+                                    calls=3, workers=1)
+
+
+class TestRecordedCells:
+    def test_all_crosschecks_hold(self, artifact):
+        for cell in artifact["cells"]:
+            assert all(cell["checks"].values()), \
+                (cell["system"], cell["variant"], cell["checks"])
+        assert artifact["summary"]["crosscheck_ok"]
+
+    def test_audit_crossings_match_span_tracer(self, artifact):
+        for cell in artifact["cells"]:
+            assert (cell["crossings"]["audit"]
+                    == cell["crossings"]["redirect_spans"])
+
+    def test_trace_crossings_meet_paper_bound(self, artifact):
+        originals = [cell for cell in artifact["cells"]
+                     if cell["variant"] == "original"]
+        assert originals
+        for cell in originals:
+            assert cell["paper_crossings"] is not None
+            for crossings in cell["crossings"]["trace"]:
+                assert crossings >= cell["paper_crossings"]
+
+    def test_optimized_crosses_less_than_original(self, artifact):
+        by_variant = {}
+        for cell in artifact["cells"]:
+            by_variant[(cell["system"], cell["variant"])] = (
+                cell["crossings"]["trace"][-1])
+        for system in artifact["systems"]:
+            assert (by_variant[(system, "optimized")]
+                    < by_variant[(system, "original")])
+
+    def test_no_anomalies_on_clean_runs(self, artifact):
+        assert artifact["summary"]["anomalies"] == 0
+
+    def test_artifact_matches_schema(self, artifact):
+        assert validate(artifact, load_schema("audit")) == []
+
+    def test_causal_graph_reconstructs(self, artifact):
+        for cell in artifact["cells"]:
+            built = graph.build_graph(cell["log"])
+            assert built["nodes"]
+            assert built["forest"]
+            dot = graph.to_dot(built)
+            assert dot.startswith("digraph audit {")
+
+
+class TestOfflineVerification:
+    def test_clean_artifact_verifies(self, artifact):
+        assert workload.verify_artifact(artifact) == []
+
+    def test_tampered_record_caught(self, artifact):
+        copy = json.loads(json.dumps(artifact))
+        copy["cells"][0]["log"]["records"][4]["detail"] = "tampered"
+        violations = workload.verify_artifact(copy)
+        assert violations
+        assert violations[0]["check"].startswith("chain.")
+
+    def test_falsified_crossings_caught(self, artifact):
+        copy = json.loads(json.dumps(artifact))
+        copy["cells"][0]["crossings"]["audit"] = [0, 0, 0]
+        checks = {v["check"] for v in workload.verify_artifact(copy)}
+        assert "crossings" in checks
+
+    def test_suppressed_anomalies_caught(self, artifact):
+        copy = json.loads(json.dumps(artifact))
+        copy["cells"][0]["log"]["records"].append(
+            dict(copy["cells"][0]["log"]["records"][-1], seq=10 ** 6))
+        violations = workload.verify_artifact(copy)
+        assert violations
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            workload.record_workload(systems=("NotASystem",))
+
+    def test_unknown_algo_rejected(self):
+        with pytest.raises(ValueError):
+            workload.record_workload(systems=("Proxos",), algo="md5")
+
+
+class TestWorkerDeterminism:
+    def test_byte_identical_across_worker_counts(self, tmp_path,
+                                                 artifact):
+        serial = tmp_path / "w1.json"
+        workload.write_artifact(artifact, str(serial))
+        for workers in (2, 4):
+            again = workload.record_workload(
+                systems=("Proxos", "HyperShell"), calls=3,
+                workers=workers)
+            path = tmp_path / f"w{workers}.json"
+            workload.write_artifact(again, str(path))
+            assert path.read_bytes() == serial.read_bytes(), \
+                f"workers={workers} artifact diverged"

@@ -139,3 +139,48 @@ class TestTrajectoryRecording:
         entry = ledger["entries"][-1]
         assert entry["label"] == "test-faults"
         assert "faults.recovered_percent" in entry["series"]
+
+
+class TestDetectionCoverage:
+    """PR-5 loop closure: every injection site must be caught blind by
+    at least one audit anomaly detector (no fam-"fault" peeking)."""
+
+    def test_every_site_detected(self, full_artifact):
+        detection = full_artifact["detection"]
+        assert set(detection) == set(SITE_NAMES)
+        undetected = [site for site, entry in detection.items()
+                      if not entry["detected"]]
+        assert undetected == []
+        assert (full_artifact["summary"]["sites_detected"]
+                == len(SITE_NAMES))
+
+    def test_detectors_named_per_site(self, full_artifact):
+        from repro.audit import DETECTORS
+        for site, entry in full_artifact["detection"].items():
+            assert entry["detectors"], site
+            for name in entry["detectors"]:
+                assert name in DETECTORS
+            assert entry["by_system"]
+
+    def test_expected_detector_classes(self, full_artifact):
+        detection = full_artifact["detection"]
+        assert "forged_wid" in detection["hypervisor.forged_wid"][
+            "detectors"]
+        assert "injection_storm" in detection[
+            "hypervisor.injection_storm"]["detectors"]
+        assert "denial_burst" in detection["core.authorization_denial"][
+            "detectors"]
+        assert "crossing_drift" in detection[
+            "hw.translation_epoch_stale"]["detectors"]
+
+    def test_detection_recorded_in_trajectory_series(self,
+                                                     full_artifact):
+        from repro.analysis.trajectory import extract_series
+        series = extract_series(full_artifact)
+        assert series["faults.sites_detected"]["value"] == len(SITE_NAMES)
+        assert series["faults.sites_detected"]["direction"] == "higher"
+
+    def test_matrix_render_includes_detection(self, full_artifact):
+        rendered = campaign.render_matrix(full_artifact)
+        assert "audit detection: 12/12" in rendered
+        assert "UNDETECTED" not in rendered

@@ -140,3 +140,63 @@ class TestVMFuncWrappers:
             pc=0)
         with pytest.raises(SimulationError):
             machine.cpu.manage_wtc("defrag", entry)
+
+
+class TestAuditSurface:
+    """The audit subsystem's public surface and its off-by-default
+    discipline (PR 5)."""
+
+    def test_exports_resolve(self):
+        from repro import audit
+        for name in audit.__all__:
+            assert getattr(audit, name) is not None
+
+    def test_core_names_importable(self):
+        from repro.audit import (       # noqa: F401
+            AuditConfig,
+            DETECTORS,
+            FlightRecorder,
+            RECORD_FIELDS,
+            run_detectors,
+            verify_chain,
+        )
+        assert callable(verify_chain)
+        assert isinstance(DETECTORS, dict) and DETECTORS
+
+    def test_disabled_by_default_on_clean_import(self):
+        from repro import audit
+        assert audit._recorder is None
+        assert not audit.enabled()
+
+    def test_audit_package_is_a_leaf(self):
+        """Hot datapath modules (hw.cpu, hw.trace, core.call, ...)
+        import repro.audit at module top; audit's core modules must
+        never import the machine stack at module top or the cycle
+        would bite.  (Lazy function-level imports are fine.)"""
+        import ast
+        import os
+        from repro import audit
+        banned = ("repro.hw", "repro.core", "repro.hypervisor",
+                  "repro.machine", "repro.systems", "repro.telemetry",
+                  "repro.analysis", "repro.workloads")
+        package_dir = os.path.dirname(audit.__file__)
+        for filename in ("__init__.py", "chain.py", "recorder.py",
+                         "graph.py", "detectors.py"):
+            with open(os.path.join(package_dir, filename)) as fh:
+                tree = ast.parse(fh.read())
+            for node in tree.body:      # top level only
+                names = []
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    names = [node.module]
+                for name in names:
+                    assert not name.startswith(banned), \
+                        f"{filename} imports {name} at module top"
+
+    def test_audit_violation_in_errors(self):
+        from repro.errors import AuditViolation
+        err = AuditViolation("chain broken", seq=7, check="link")
+        assert err.seq == 7
+        assert err.check == "link"
+        assert "seq 7" in str(err)

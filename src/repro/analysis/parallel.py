@@ -21,6 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import jit as _jit
 from repro import telemetry
 from repro.analysis import experiments
 
@@ -44,6 +45,7 @@ class CellResult:
     wall_seconds: float
     worker_pid: int
     telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False)
+    jit: Optional[Dict[str, int]] = field(default=None, repr=False)
 
 
 def default_workers() -> int:
@@ -65,18 +67,38 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     """
     runner, args = spec
     cell_telemetry: Optional[Dict[str, Any]] = None
+    cell_jit: Optional[Dict[str, int]] = None
     t0 = time.perf_counter()
-    if telemetry.enabled():
-        with telemetry.scoped(f"cell:{runner}") as session:
-            with session.tracer.span(f"cell:{runner}", category="cell",
-                                     runner=runner, args=repr(args)):
-                value = experiments.CELL_RUNNERS[runner](*args)
-        cell_telemetry = session.to_dict()
+    # With the trace-JIT on, every cell gets its own fresh engine
+    # (same threshold/capacity as the installed one): heat and hit
+    # counts then depend only on the cell's own call stream, so the
+    # per-cell stats — and their spec-order merge — are identical at
+    # any worker count.
+    if _jit.enabled():
+        installed = _jit.engine()
+        assert installed is not None
+        jit_ctx = _jit.scoped(threshold=installed.threshold,
+                              capacity=installed.capacity)
     else:
-        value = experiments.CELL_RUNNERS[runner](*args)
+        jit_ctx = None
+    engine = jit_ctx.__enter__() if jit_ctx is not None else None
+    try:
+        if telemetry.enabled():
+            with telemetry.scoped(f"cell:{runner}") as session:
+                with session.tracer.span(f"cell:{runner}", category="cell",
+                                         runner=runner, args=repr(args)):
+                    value = experiments.CELL_RUNNERS[runner](*args)
+            cell_telemetry = session.to_dict()
+        else:
+            value = experiments.CELL_RUNNERS[runner](*args)
+    finally:
+        if jit_ctx is not None:
+            cell_jit = engine.stats.to_dict()
+            jit_ctx.__exit__(None, None, None)
     return CellResult(runner=runner, args=args, value=value,
                       wall_seconds=time.perf_counter() - t0,
-                      worker_pid=os.getpid(), telemetry=cell_telemetry)
+                      worker_pid=os.getpid(), telemetry=cell_telemetry,
+                      jit=cell_jit)
 
 
 def _merge_cell_telemetry(cells: List[CellResult]) -> None:
@@ -94,6 +116,26 @@ def _merge_cell_telemetry(cells: List[CellResult]) -> None:
                        else None)
 
 
+def _merge_cell_jit(cells: List[CellResult]) -> None:
+    """Fold each cell's superblock stats into the parent engine.
+
+    Cells are visited in spec order and addition is the only combine
+    step, so the merged totals are byte-identical at any worker count.
+    A parent telemetry session gets the same harvest as ``jit.*``
+    counters (the engine itself never increments metrics live — it only
+    runs while no session is installed).
+    """
+    engine = _jit.engine()
+    if engine is None:
+        return
+    session = telemetry.current()
+    for cell in cells:
+        if cell.jit is not None:
+            engine.stats.merge(cell.jit)
+            if session is not None:
+                session.on_jit_stats(cell.jit)
+
+
 def run_cells(specs: List[CellSpec], workers: Optional[int] = None
               ) -> List[CellResult]:
     """Execute cells, in parallel when it can help.
@@ -103,6 +145,7 @@ def run_cells(specs: List[CellSpec], workers: Optional[int] = None
     """
     cells = _run_cells_raw(specs, workers)
     _merge_cell_telemetry(cells)
+    _merge_cell_jit(cells)
     return cells
 
 
@@ -181,10 +224,20 @@ def run_sweep(tables: Tuple[str, ...] = ("table4", "table5", "table6",
         _, merge = experiments.TABLE_PLANS[table]
         own = [(c.args, c.value) for c in cells if c.runner == table]
         results[table] = merge(own)
-    return {
+    sweep: Dict[str, Any] = {
         "results": results,
         "cells": [{"runner": c.runner, "args": list(c.args),
                    "wall_seconds": round(c.wall_seconds, 4),
                    "worker_pid": c.worker_pid} for c in cells],
         "wall_seconds": total,
     }
+    if _jit.enabled():
+        merged = _jit.JitStats()
+        per_cell = []
+        for c in cells:
+            stats = c.jit or {name: 0 for name in _jit.STAT_FIELDS}
+            merged.merge(stats)
+            per_cell.append({"runner": c.runner, "args": list(c.args),
+                             "stats": stats})
+        sweep["jit"] = {"totals": merged.to_dict(), "cells": per_cell}
+    return sweep

@@ -30,6 +30,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro import audit as _audit
 from repro import faults as _faults
+from repro import jit as _jit
 from repro import telemetry
 from repro.core import convention, fastpath
 from repro.core.binding import BindingTable
@@ -64,6 +65,10 @@ class CallRequest:
 #: Section 5.3 scheduler-awareness: cost of reloading the service
 #: process state when a world call lands in a kernel world.
 _SCHED_RELOAD = Cost(15, 50)
+
+#: Sentinel: "no pre-decoded payload available, decode the wire".
+#: Distinct from ``None`` because ``None`` is a legitimate payload.
+_NO_PAYLOAD = object()
 
 
 @dataclass
@@ -295,6 +300,15 @@ class WorldCallRuntime:
 
     def _call(self, caller: World, callee_wid: int, payload: Any, *,
               authorize: bool) -> Any:
+        engine = _jit._engine
+        if engine is not None:
+            # A compiled superblock executes the whole round trip; any
+            # exception it raises travels through the same retry and
+            # legacy-fallback layers as an interpreter-raised one.
+            result = engine.world_call(self, caller, callee_wid, payload,
+                                       authorize)
+            if result is not _jit.DEOPT:
+                return result
         cpu = self.machine.cpu
         if not caller.matches_cpu(cpu):
             raise SimulationError(
@@ -309,7 +323,14 @@ class WorldCallRuntime:
                                  caller=caller, callee_wid=callee_wid,
                                  payload=payload)
 
-        wire = convention.encode(payload)
+        if _faults._engine is None:
+            # One content walk yields both the wire bytes and the fresh
+            # copy the callee receives; the fault engine needs the
+            # decode kept separate so it can poison the wire in flight.
+            wire, decoded = convention.roundtrip(payload)
+        else:
+            wire = convention.encode(payload)
+            decoded = _NO_PAYLOAD
         in_registers = convention.fits_registers(wire)
         channel = self._channels.get((caller.wid, callee_wid))
         if not in_registers and channel is None:
@@ -358,12 +379,17 @@ class WorldCallRuntime:
         try:
             result = self._run_callee(callee, callee_wid,
                                       presented_wid, wire,
-                                      in_registers, channel, authorize)
+                                      in_registers, channel, authorize,
+                                      decoded=decoded)
         except CalleeHang:
             return self._recover_from_hang(caller, callee)
 
         try:
-            result_wire = convention.encode(result)
+            if _faults._engine is None:
+                result_wire, result_value = convention.roundtrip(result)
+            else:
+                result_wire = convention.encode(result)
+                result_value = _NO_PAYLOAD
             result_in_regs = convention.fits_registers(result_wire)
             if not result_in_regs and channel is None:
                 raise WorldCallError(
@@ -406,7 +432,11 @@ class WorldCallRuntime:
         if not result_in_regs:
             assert channel is not None
             result_wire = channel.read_payload(cpu, self.machine.memory)
-        value = convention.decode(result_wire)
+            value = convention.decode(result_wire)
+        elif result_value is _NO_PAYLOAD:
+            value = convention.decode(result_wire)
+        else:
+            value = result_value
         if isinstance(value, GuestOSError):
             raise value
         if isinstance(value, tuple) and len(value) == 2 and \
@@ -572,7 +602,8 @@ class WorldCallRuntime:
 
     def _run_callee(self, callee: Optional[World], callee_wid: int,
                     caller_wid: int, wire: bytes, in_registers: bool,
-                    channel: Optional[Channel], authorize: bool) -> Any:
+                    channel: Optional[Channel], authorize: bool,
+                    decoded: Any = _NO_PAYLOAD) -> Any:
         cpu = self.machine.cpu
         if callee is None:
             raise SimulationError(
@@ -625,7 +656,8 @@ class WorldCallRuntime:
                     recorder.on_authorization(caller_wid, callee_wid,
                                               "allow")
             if in_registers:
-                payload = convention.decode(wire)
+                payload = (convention.decode(wire)
+                           if decoded is _NO_PAYLOAD else decoded)
             else:
                 assert channel is not None
                 payload = convention.decode(

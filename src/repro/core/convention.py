@@ -123,9 +123,19 @@ _decode_cache: "OrderedDict[bytes, Any]" = OrderedDict()
 #: handing corrupted bytes to a channel.
 _encode_crc: dict = {}
 
+#: One-walk round-trip memo: content key -> (wire bytes, frozen decoded
+#: template).  Hot call paths need *both* the wire form (for copy
+#: charges and register-fit checks) and a fresh decoded copy (for the
+#: callee); going through ``encode`` then ``decode`` walks the payload
+#: once to key the encode cache and then hashes the produced wire again
+#: to key the decode cache.  :func:`roundtrip` does one content-key walk
+#: and returns both halves.
+_roundtrip_cache: "OrderedDict[Any, tuple]" = OrderedDict()
+
 #: Hit/miss statistics, exposed for BENCH artifacts and tests.
 cache_stats = {"encode_hits": 0, "encode_misses": 0,
                "decode_hits": 0, "decode_misses": 0,
+               "roundtrip_hits": 0, "roundtrip_misses": 0,
                "poison_repaired": 0}
 
 #: Exact types whose repr is already the wire form (scalar fast path).
@@ -380,9 +390,10 @@ def _fast_literal(text: str):
 
 
 def clear_caches() -> None:
-    """Drop both marshaling caches and zero the statistics."""
+    """Drop the marshaling caches and zero the statistics."""
     _encode_cache.clear()
     _decode_cache.clear()
+    _roundtrip_cache.clear()
     _encode_crc.clear()
     for key in cache_stats:
         cache_stats[key] = 0
@@ -470,6 +481,45 @@ def decode(data: bytes) -> Any:
         if len(_decode_cache) > _CACHE_MAX:
             _decode_cache.popitem(last=False)
     return value
+
+
+def roundtrip(value: Any) -> "tuple[bytes, Any]":
+    """Marshal ``value`` and return ``(wire, fresh_decoded_copy)`` with a
+    single content-key walk.
+
+    Equivalent to ``(encode(value), decode(encode(value)))`` but on the
+    hot path: one :func:`_cache_key` walk keys both halves, so a hit
+    does zero hashing of the produced wire bytes.  Callers must only use
+    this while no fault engine is installed — the poison-repair CRC
+    validation lives in :func:`encode` and is deliberately skipped here
+    (the superblock dispatch layer deopts whenever faults are armed).
+    """
+    if not fastpath.enabled():
+        wire = encode(value)
+        return wire, decode(wire)
+    t = type(value)
+    if t in _SCALAR_TYPES:
+        # Scalars are immutable and shareable: the repr is the wire form
+        # and the "fresh copy" is the value itself.
+        return repr(value).encode(), value
+    key = _cache_key(value)
+    if key is None:
+        wire = encode(value)
+        return wire, decode(wire)
+    hit = _roundtrip_cache.get(key)
+    if hit is not None:
+        _roundtrip_cache.move_to_end(key)
+        cache_stats["roundtrip_hits"] += 1
+        wire, frozen = hit
+        return wire, (_thaw(frozen) if isinstance(frozen, _Thaw) else frozen)
+    cache_stats["roundtrip_misses"] += 1
+    wire = encode(value)
+    fresh = decode(wire)
+    # Freeze before handing ``fresh`` back: the caller may mutate it.
+    _roundtrip_cache[key] = (wire, _freeze(fresh))
+    if len(_roundtrip_cache) > _CACHE_MAX:
+        _roundtrip_cache.popitem(last=False)
+    return wire, fresh
 
 
 def fits_registers(data: bytes) -> bool:

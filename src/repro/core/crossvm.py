@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import audit as _audit
 from repro import faults as _faults
+from repro import jit as _jit
 from repro import telemetry
 from repro.core import convention, fastpath
 from repro.errors import (ConfigurationError, GuestOSError, SimulationError,
@@ -189,6 +190,13 @@ class CrossVMSyscallMechanism:
         inside the syscall dispatcher (step 2 of Figure 4).  Remote
         errno failures are re-raised locally.
         """
+        engine = _jit._engine
+        if engine is not None:
+            result = engine.crossvm_syscall(self, from_vm, to_vm, name,
+                                            args, kwargs, executor)
+            if result is not _jit.DEOPT:
+                return result
+
         def serve(payload):
             r_name, r_args, r_kwargs = payload
             remote_kernel = to_vm.kernel
@@ -211,6 +219,12 @@ class CrossVMSyscallMechanism:
         split-driver backend's transmit routine or Tahoma's browser-call
         dispatcher.  ``fn`` executes in ``to_vm``'s kernel context.
         """
+        engine = _jit._engine
+        if engine is not None:
+            result = engine.crossvm_function(self, from_vm, to_vm, fn,
+                                             payload)
+            if result is not _jit.DEOPT:
+                return result
         return self._roundtrip(from_vm, to_vm, payload, fn)
 
     def _roundtrip(self, from_vm: VirtualMachine, to_vm: VirtualMachine,

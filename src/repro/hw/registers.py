@@ -63,5 +63,12 @@ class RegisterFile:
 
     def restore(self, values: Dict[str, int]) -> None:
         """Restore GPRs from a snapshot."""
+        gprs = self._gprs
+        if values.keys() <= gprs.keys():
+            # A snapshot (or subset) restores as one bulk update — this
+            # sits on the world-call hot path, where the per-name
+            # validation of :meth:`write` is pure overhead.
+            gprs.update(values)
+            return
         for name, value in values.items():
             self.write(name, value)

@@ -9,6 +9,7 @@ six crossings the paper counts).
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence
 
@@ -80,6 +81,17 @@ class TransitionTrace:
         if recorder is not None:
             recorder.on_transition(kind, frm, to, detail, cycles)
         return event
+
+    @contextlib.contextmanager
+    def scoped(self, enabled: bool) -> Iterator[None]:
+        """Temporarily force tracing on or off (microbenchmarks disable
+        tracing around steady-state timing loops and restore it after)."""
+        previous = self.enabled
+        self.enabled = enabled
+        try:
+            yield
+        finally:
+            self.enabled = previous
 
     def clear(self) -> None:
         """Drop all recorded events and reset sequence numbering."""

@@ -74,6 +74,12 @@ class WorldTable:
         self._by_wid: Dict[int, WorldTableEntry] = {}
         self._by_context: Dict[ContextKey, WorldTableEntry] = {}
         self._next_wid = 1
+        #: Monotonic mutation counter.  Every structural change to the
+        #: table (create/destroy/evict/restore) bumps it; consumers that
+        #: precompute world lookups (the superblock cache in
+        #: :mod:`repro.jit`) key their entries on the epoch so any
+        #: table mutation invalidates them wholesale.
+        self.epoch = 0
 
     def __len__(self) -> int:
         return len(self._by_wid)
@@ -96,6 +102,7 @@ class WorldTable:
         self._next_wid += 1
         self._by_wid[entry.wid] = entry
         self._by_context[key] = entry
+        self.epoch += 1
         return entry
 
     def destroy(self, wid: int) -> WorldTableEntry:
@@ -104,6 +111,7 @@ class WorldTable:
         if entry is None:
             raise NoSuchWorld(wid)
         del self._by_context[entry.context_key()]
+        self.epoch += 1
         return entry
 
     def peek(self, wid: int) -> Optional[WorldTableEntry]:
@@ -120,12 +128,14 @@ class WorldTable:
         entry = self._by_wid.pop(wid, None)
         if entry is not None:
             self._by_context.pop(entry.context_key(), None)
+            self.epoch += 1
         return entry
 
     def restore_entry(self, entry: WorldTableEntry) -> None:
         """Re-insert an entry removed by :meth:`evict`."""
         self._by_wid[entry.wid] = entry
         self._by_context[entry.context_key()] = entry
+        self.epoch += 1
 
     def walk_by_wid(self, wid: int) -> WorldTableEntry:
         """Table walk by WID (hypervisor path on a WT-cache miss)."""
@@ -210,6 +220,11 @@ class WorldTableCaches:
     def __init__(self, capacity: int = 16) -> None:
         self.wt = WTCache(capacity)
         self.iwt = IWTCache(capacity)
+        #: Mutation counter for the cache *contents* (fills, explicit
+        #: invalidations, flushes).  Plain lookups do not bump it, so a
+        #: steady-state hot path keeps a stable epoch while any
+        #: ``manage_wtc`` traffic invalidates precompiled lookups.
+        self.epoch = 0
 
     def lookup_callee(self, wid: int) -> WorldTableEntry:
         """WT-cache lookup by WID; raises on miss."""
@@ -229,13 +244,16 @@ class WorldTableCaches:
         """Fill both caches for ``entry`` (a ``manage_wtc`` fill)."""
         self.wt.fill(entry.wid, entry)
         self.iwt.fill(entry.context_key(), entry)
+        self.epoch += 1
 
     def invalidate(self, entry: WorldTableEntry) -> None:
         """Invalidate ``entry`` in both caches (a ``manage_wtc`` inval)."""
         self.wt.invalidate(entry.wid)
         self.iwt.invalidate(entry.context_key())
+        self.epoch += 1
 
     def flush(self) -> None:
         """Flush both caches."""
         self.wt.flush()
         self.iwt.flush()
+        self.epoch += 1

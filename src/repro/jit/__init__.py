@@ -1,0 +1,385 @@
+"""``repro.jit`` — a software trace-JIT for the world-call hot path.
+
+The simulator's transition machinery interprets every cross-world round
+trip step by step: re-deriving pair state, re-checking table residency,
+re-marshaling payloads and charging costs one batch at a time.  This
+package watches those round trips, and once a (site, caller, callee,
+shape) gets hot it *compiles* the whole trip into a **superblock** — a
+straight-line precomputed sequence where the validity preconditions are
+checked once up front as a guard vector and the per-step costs land as
+a single batched vector-add (:mod:`repro.jit.superblocks`).
+
+Correctness contract — bit-identical counters:
+
+* superblocks run only when nothing can observe intermediate state:
+  fast path on, transition trace off, and no telemetry session, audit
+  recorder, or fault engine installed.  Any observer arriving between
+  calls turns dispatch into a **deopt** (the interpreter runs instead);
+* every compiled block is keyed on an **epoch vector** — the world
+  table's mutation epoch, the WT/IWT cache-content epoch, the global
+  mapping epoch, and the fast-path configuration fingerprint.  Any
+  bump (world create/destroy/evict, ``manage_wtc`` traffic, page-table
+  or EPT mutation, fast-path toggle) invalidates the block wholesale;
+* guard failures return before the first state change, so a deopted
+  call re-executes from scratch on the interpreter with no drift.
+
+The engine hangs off a module global read with one attribute load and a
+``None`` test — the same zero-cost-when-disabled discipline as
+:mod:`repro.telemetry`, :mod:`repro.faults` and :mod:`repro.audit`.  It
+is off by default; enable with :func:`install` / :func:`scoped` or the
+``REPRO_JIT=1`` environment variable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro import audit as _audit
+from repro import faults as _faults
+from repro import telemetry as _telemetry
+from repro.core import fastpath
+from repro.hw import mem as _hwmem
+from repro.jit.superblocks import (
+    DEOPT,
+    CrossvmSuperblock,
+    ShadowRedirectSuperblock,
+    WorldCallSuperblock,
+)
+
+__all__ = [
+    "DEOPT", "JitEngine", "JitStats", "enabled", "engine", "install",
+    "scoped", "stats_dict", "uninstall",
+]
+
+#: Dispatches of one site before it is compiled.
+DEFAULT_THRESHOLD = 8
+#: Maximum live superblocks; least-recently-dispatched is evicted.
+DEFAULT_CAPACITY = 64
+
+STAT_FIELDS = ("compiled", "hits", "misses", "invalidations", "deopts")
+
+
+class JitStats:
+    """Counters describing one engine's dispatch behaviour.
+
+    ``compiled``       — superblocks built.
+    ``hits``           — calls fully executed by a superblock.
+    ``misses``         — eligible dispatches with no (valid) block yet.
+    ``invalidations``  — blocks dropped for stale epochs, a replaced
+                         anchor object, or capacity eviction.
+    ``deopts``         — dispatches the engine declined: an observer
+                         (trace, telemetry, audit, faults) was armed,
+                         or a compiled block's guard vector failed.
+    """
+
+    __slots__ = STAT_FIELDS
+
+    def __init__(self) -> None:
+        self.compiled = 0
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.deopts = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {name: getattr(self, name) for name in STAT_FIELDS}
+
+    def merge(self, other: Dict[str, int]) -> None:
+        """Fold another stats mapping into this one (parallel workers)."""
+        for name in STAT_FIELDS:
+            setattr(self, name, getattr(self, name) + int(other.get(name, 0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        body = ", ".join(f"{k}={v}" for k, v in self.to_dict().items())
+        return f"JitStats({body})"
+
+
+class JitEngine:
+    """The superblock cache, heat counters, and dispatch guards."""
+
+    __slots__ = ("threshold", "capacity", "stats", "_blocks", "_heat")
+
+    def __init__(self, threshold: int = DEFAULT_THRESHOLD,
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        self.threshold = threshold
+        self.capacity = capacity
+        self.stats = JitStats()
+        #: key -> (block, epoch-vector, anchor).  Ordered for LRU.
+        self._blocks: "OrderedDict[Tuple, Tuple[Any, Tuple, Any]]" = \
+            OrderedDict()
+        self._heat: Dict[Tuple, int] = {}
+
+    # -- eligibility ----------------------------------------------------
+
+    @staticmethod
+    def _quiet(cpu) -> bool:
+        """No observer can see intermediate state of a collapsed trip."""
+        return (fastpath.enabled()
+                and not cpu.trace.enabled
+                and _telemetry._session is None
+                and _audit._recorder is None
+                and _faults._engine is None)
+
+    @staticmethod
+    def _epochs(machine, cpu) -> Tuple[int, int, int, int]:
+        wtc = cpu.wt_caches
+        return (machine.world_table.epoch,
+                wtc.epoch if wtc is not None else -1,
+                _hwmem._mapping_epoch,
+                fastpath.fingerprint())
+
+    # -- cache ----------------------------------------------------------
+
+    def _lookup(self, key, anchor, machine, cpu,
+                compile_fn: Callable[[], Any]):
+        """Find a valid block for ``key``, counting heat and compiling
+        at the threshold.  Returns ``None`` when the interpreter should
+        run (cold site, or compile declined)."""
+        stats = self.stats
+        epochs = self._epochs(machine, cpu)
+        blocks = self._blocks
+        cached = blocks.get(key)
+        if cached is not None:
+            block, b_epochs, b_anchor = cached
+            if b_epochs == epochs and b_anchor is anchor:
+                blocks.move_to_end(key)
+                return block
+            # Stale configuration or a rebuilt site object: drop the
+            # block and let the site re-heat under the new epochs.
+            del blocks[key]
+            stats.invalidations += 1
+            self._heat[key] = 0
+        stats.misses += 1
+        heat = self._heat.get(key, 0) + 1
+        if heat < self.threshold:
+            self._heat[key] = heat
+            return None
+        self._heat[key] = 0
+        block = compile_fn()
+        if block is None:
+            return None
+        stats.compiled += 1
+        blocks[key] = (block, epochs, anchor)
+        if len(blocks) > self.capacity:
+            blocks.popitem(last=False)
+            stats.invalidations += 1
+        return block
+
+    def invalidate_all(self) -> None:
+        """Drop every compiled block (counted as invalidations)."""
+        self.stats.invalidations += len(self._blocks)
+        self._blocks.clear()
+        self._heat.clear()
+
+    def block_count(self) -> int:
+        return len(self._blocks)
+
+    # -- dispatch sites --------------------------------------------------
+    #
+    # Each wrapper open-codes the hit path: the eligibility test reads
+    # the observer globals directly (``_quiet`` is the readable spelling
+    # of the same predicate) and a valid cached block is recognised with
+    # four integer compares against its stored epoch vector — no helper
+    # calls, no closure and no tuple built per dispatch.  Only a miss or
+    # a stale entry drops into :meth:`_lookup`.
+
+    def crossvm_syscall(self, mech, from_vm, to_vm, name, args, kwargs,
+                        executor):
+        machine = mech.machine
+        cpu = machine.cpu
+        key = ("crossvm-syscall", from_vm.name, to_vm.name)
+        if not (fastpath._enabled and not cpu.trace.enabled
+                and _telemetry._session is None
+                and _audit._recorder is None
+                and _faults._engine is None):
+            self.stats.deopts += 1
+            return DEOPT
+        cached = self._blocks.get(key)
+        if cached is not None and cached[2] is mech:
+            e = cached[1]
+            wtc = cpu.wt_caches
+            if (e[0] == machine.world_table.epoch
+                    and e[1] == (wtc.epoch if wtc is not None else -1)
+                    and e[2] == _hwmem._mapping_epoch
+                    and e[3] == fastpath.fingerprint()):
+                self._blocks.move_to_end(key)
+                result = cached[0].execute_syscall(name, args, kwargs,
+                                                   executor)
+                if result is DEOPT:
+                    self.stats.deopts += 1
+                return result
+        block = self._lookup(
+            key, mech, machine, cpu,
+            lambda: CrossvmSuperblock.compile(self, mech, from_vm, to_vm,
+                                              executor))
+        if block is None:
+            return DEOPT
+        result = block.execute_syscall(name, args, kwargs, executor)
+        if result is DEOPT:
+            self.stats.deopts += 1
+        return result
+
+    def crossvm_function(self, mech, from_vm, to_vm, fn, payload):
+        machine = mech.machine
+        cpu = machine.cpu
+        key = ("crossvm-fn", from_vm.name, to_vm.name)
+        if not (fastpath._enabled and not cpu.trace.enabled
+                and _telemetry._session is None
+                and _audit._recorder is None
+                and _faults._engine is None):
+            self.stats.deopts += 1
+            return DEOPT
+        cached = self._blocks.get(key)
+        if cached is not None and cached[2] is mech:
+            e = cached[1]
+            wtc = cpu.wt_caches
+            if (e[0] == machine.world_table.epoch
+                    and e[1] == (wtc.epoch if wtc is not None else -1)
+                    and e[2] == _hwmem._mapping_epoch
+                    and e[3] == fastpath.fingerprint()):
+                self._blocks.move_to_end(key)
+                result = cached[0].execute_fn(fn, payload)
+                if result is DEOPT:
+                    self.stats.deopts += 1
+                return result
+        block = self._lookup(
+            key, mech, machine, cpu,
+            lambda: CrossvmSuperblock.compile(self, mech, from_vm, to_vm,
+                                              None))
+        if block is None:
+            return DEOPT
+        result = block.execute_fn(fn, payload)
+        if result is DEOPT:
+            self.stats.deopts += 1
+        return result
+
+    def world_call(self, runtime, caller, callee_wid, payload, authorize):
+        machine = runtime.machine
+        cpu = machine.cpu
+        key = ("worldcall", caller.wid, callee_wid, authorize)
+        if not (fastpath._enabled and not cpu.trace.enabled
+                and _telemetry._session is None
+                and _audit._recorder is None
+                and _faults._engine is None):
+            self.stats.deopts += 1
+            return DEOPT
+        cached = self._blocks.get(key)
+        if cached is not None and cached[2] is runtime:
+            e = cached[1]
+            wtc = cpu.wt_caches
+            if (e[0] == machine.world_table.epoch
+                    and e[1] == (wtc.epoch if wtc is not None else -1)
+                    and e[2] == _hwmem._mapping_epoch
+                    and e[3] == fastpath.fingerprint()):
+                self._blocks.move_to_end(key)
+                result = cached[0].execute(payload)
+                if result is DEOPT:
+                    self.stats.deopts += 1
+                return result
+        block = self._lookup(
+            key, runtime, machine, cpu,
+            lambda: WorldCallSuperblock.compile(self, runtime, caller,
+                                                callee_wid, authorize))
+        if block is None:
+            return DEOPT
+        result = block.execute(payload)
+        if result is DEOPT:
+            self.stats.deopts += 1
+        return result
+
+    def shadow_redirect(self, system, name, args, kwargs):
+        machine = system.machine
+        cpu = machine.cpu
+        key = ("shadow", system.local_vm.name, system.remote_vm.name)
+        if not (fastpath._enabled and not cpu.trace.enabled
+                and _telemetry._session is None
+                and _audit._recorder is None
+                and _faults._engine is None):
+            self.stats.deopts += 1
+            return DEOPT
+        cached = self._blocks.get(key)
+        if cached is not None and cached[2] is system:
+            e = cached[1]
+            wtc = cpu.wt_caches
+            if (e[0] == machine.world_table.epoch
+                    and e[1] == (wtc.epoch if wtc is not None else -1)
+                    and e[2] == _hwmem._mapping_epoch
+                    and e[3] == fastpath.fingerprint()):
+                self._blocks.move_to_end(key)
+                result = cached[0].execute(name, args, kwargs)
+                if result is DEOPT:
+                    self.stats.deopts += 1
+                return result
+        block = self._lookup(
+            key, system, machine, cpu,
+            lambda: ShadowRedirectSuperblock.compile(self, system))
+        if block is None:
+            return DEOPT
+        result = block.execute(name, args, kwargs)
+        if result is DEOPT:
+            self.stats.deopts += 1
+        return result
+
+
+#: The installed engine.  Dispatch sites read this with one attribute
+#: load + ``None`` test; ``None`` means the interpreter always runs.
+_engine: Optional[JitEngine] = None
+
+
+def install(threshold: int = DEFAULT_THRESHOLD,
+            capacity: int = DEFAULT_CAPACITY) -> JitEngine:
+    """Install (and return) a fresh engine, replacing any current one."""
+    global _engine
+    _engine = JitEngine(threshold=threshold, capacity=capacity)
+    return _engine
+
+
+def uninstall() -> Optional[JitEngine]:
+    """Remove the engine; returns it so callers can harvest stats."""
+    global _engine
+    previous = _engine
+    _engine = None
+    return previous
+
+
+def enabled() -> bool:
+    """Whether a jit engine is installed."""
+    return _engine is not None
+
+
+def engine() -> Optional[JitEngine]:
+    """The installed engine, if any."""
+    return _engine
+
+
+def stats_dict() -> Dict[str, int]:
+    """The installed engine's counters (all zero when disabled)."""
+    if _engine is None:
+        return {name: 0 for name in STAT_FIELDS}
+    return _engine.stats.to_dict()
+
+
+@contextlib.contextmanager
+def scoped(threshold: int = DEFAULT_THRESHOLD,
+           capacity: int = DEFAULT_CAPACITY) -> Iterator[JitEngine]:
+    """Run a block with a fresh engine installed, then restore the
+    previous one::
+
+        with jit.scoped() as engine:
+            run_table5()
+            stats = engine.stats.to_dict()
+    """
+    global _engine
+    previous = _engine
+    _engine = JitEngine(threshold=threshold, capacity=capacity)
+    try:
+        yield _engine
+    finally:
+        _engine = previous
+
+
+if os.environ.get("REPRO_JIT", "") not in ("", "0", "false", "off"):
+    install()

@@ -249,6 +249,19 @@ class TelemetrySession:
                 "faults.recoveries", policy=policy).inc
         inc()
 
+    def on_jit_stats(self, stats: Dict[str, int]) -> None:
+        """Absorb a trace-JIT engine's dispatch counters.
+
+        Superblocks only execute while *no* session is installed (an
+        installed session deopts every dispatch), so these arrive as a
+        harvested snapshot at a quiescent point — the bench harness and
+        the sweep runner call this with the engine's totals — rather
+        than as live per-call increments.
+        """
+        for name, value in stats.items():
+            if value:
+                self.metrics.counter(f"jit.{name}").inc(value)
+
     def on_virq_injected(self, vector: int, vm_name: str) -> None:
         """The hypervisor injector queued one virtual interrupt."""
         key = (vector, vm_name)

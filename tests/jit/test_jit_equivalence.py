@@ -1,0 +1,142 @@
+"""Golden equivalence: superblocks must change wall-clock only.
+
+For every Table-4 column and the Table-5 workloads, running with the
+trace-JIT installed must produce *identical* instructions, cycles, and
+per-event counts to the interpreter — while actually executing compiled
+superblocks (asserted through the engine's hit counters).
+"""
+
+import pytest
+
+from repro import jit
+from repro.analysis import experiments
+from repro.core import convention, fastpath
+
+#: Every Table-4 column: native plus each system x variant.
+COLUMNS = [(None, False)] + [(name, optimized)
+                             for name in experiments.SYSTEMS
+                             for optimized in (False, True)]
+
+#: Columns whose hot path contains a jit dispatch site (cross-VM call,
+#: world call, or the ShadowContext baseline redirect).
+JITTABLE = {("Proxos", True), ("HyperShell", True), ("Tahoma", True),
+            ("ShadowContext", False), ("ShadowContext", True)}
+
+
+def _column_deltas(system_name, optimized, iterations=12):
+    """Raw per-op counter deltas for one Table-4 column."""
+    if system_name is None:
+        surface = experiments._native_surface()
+    else:
+        surface = experiments._surface_for(system_name, optimized)
+    out = {}
+    for op, (method, divisor) in experiments.TABLE4_OPS.items():
+        m = experiments._measure_op(surface, method, divisor, iterations)
+        out[op] = (m.delta.instructions, m.delta.cycles,
+                   dict(m.delta.events))
+    return out
+
+
+class TestTable4Golden:
+    @pytest.mark.parametrize("system_name,optimized", COLUMNS,
+                             ids=[f"{n or 'native'}-{'opt' if o else 'orig'}"
+                                  for n, o in COLUMNS])
+    def test_counters_identical(self, system_name, optimized):
+        convention.clear_caches()
+        with fastpath.scoped(True):
+            interp = _column_deltas(system_name, optimized)
+            with jit.scoped(threshold=2) as engine:
+                jitted = _column_deltas(system_name, optimized)
+        for op in interp:
+            s_insns, s_cycles, s_events = interp[op]
+            f_insns, f_cycles, f_events = jitted[op]
+            assert f_insns == s_insns, (op, "instructions")
+            assert f_cycles == s_cycles, (op, "cycles")
+            assert f_events == s_events, (op, "events")
+        if (system_name, optimized) in JITTABLE:
+            assert engine.stats.compiled > 0, engine.stats.to_dict()
+            assert engine.stats.hits > 0, engine.stats.to_dict()
+
+
+class TestMergedResults:
+    def test_run_table4_identical(self):
+        with fastpath.scoped(True):
+            interp = experiments.run_table4(iterations=4)
+            with jit.scoped(threshold=2) as engine:
+                jitted = experiments.run_table4(iterations=4)
+        assert interp == jitted
+        assert engine.stats.hits > 0
+
+    def test_table5_cell_identical(self):
+        with fastpath.scoped(True):
+            interp = experiments.table5_cell("uptime")
+            with jit.scoped(threshold=2) as engine:
+                jitted = experiments.table5_cell("uptime")
+        assert interp == jitted
+        assert engine.stats.hits > 0
+
+    def test_slow_path_matches_jitted_fastpath(self):
+        """Transitivity anchor: interpreter-with-fastpath equals the
+        step-by-step seed path, so jitted == seed too; spot-check the
+        full chain on one workload."""
+        with fastpath.scoped(False):
+            seed = experiments.table5_cell("uptime")
+        with fastpath.scoped(True), jit.scoped(threshold=2):
+            jitted = experiments.table5_cell("uptime")
+        assert seed == jitted
+
+
+def _build_worldcall_harness(handler):
+    from repro.core.call import WorldCallRuntime
+    from repro.core.world import WorldRegistry
+    from repro.hw.costs import FEATURES_CROSSOVER
+    from repro.testbed import build_two_vm_machine, enter_vm_kernel
+
+    machine, vm1, k1, vm2, k2 = build_two_vm_machine(
+        features=FEATURES_CROSSOVER)
+    registry = WorldRegistry(machine)
+    runtime = WorldCallRuntime(machine, registry)
+    enter_vm_kernel(machine, vm1)
+    caller = registry.create_kernel_world(k1)
+    enter_vm_kernel(machine, vm2)
+    callee = registry.create_kernel_world(k2, handler=handler)
+    enter_vm_kernel(machine, vm1)
+    machine.cpu.write_cr3(k1.master_page_table)
+    return machine, runtime, caller, callee
+
+
+class TestWorldCallMicroflow:
+    def _roundtrip_counters(self, with_jit, calls=24):
+        machine, runtime, caller, callee = _build_worldcall_harness(
+            lambda request: ("pong", request.payload))
+        results = []
+        stats = None
+        with fastpath.scoped(True), machine.cpu.trace.scoped(False):
+            if with_jit:
+                ctx = jit.scoped(threshold=4)
+            else:
+                ctx = _null_ctx()
+            with ctx as engine:
+                for i in range(calls):
+                    results.append(runtime.call(caller, callee.wid,
+                                                ("ping", i)))
+                if engine is not None:
+                    stats = engine.stats.to_dict()
+        perf = machine.cpu.perf
+        return results, (perf.instructions, perf.cycles,
+                         dict(perf.events)), stats
+
+    def test_worldcall_roundtrip_identical(self):
+        res_i, counters_i, _ = self._roundtrip_counters(False)
+        res_j, counters_j, stats = self._roundtrip_counters(True)
+        assert res_i == res_j
+        assert counters_i == counters_j
+        assert stats["compiled"] > 0 and stats["hits"] > 0, stats
+
+
+class _null_ctx:
+    def __enter__(self):
+        return None
+
+    def __exit__(self, *exc):
+        return False

@@ -1,0 +1,51 @@
+"""Worker-count determinism of the per-cell JIT engines.
+
+The parallel runner gives every cell a fresh engine, so each cell's
+stats depend only on that cell's own call stream — the merged totals
+and the per-cell breakdown must come out byte-identical at any worker
+count, and identical to the interpreter's simulated numbers.
+"""
+
+import json
+
+from repro import jit
+from repro.analysis import parallel
+from repro.core import fastpath
+
+TABLES = ("table5",)
+
+
+class TestWorkerDeterminism:
+    def test_jit_stats_identical_at_1_2_4_workers(self):
+        with fastpath.scoped(True):
+            interp = parallel.run_sweep(TABLES, workers=1)["results"]
+        sweeps = {}
+        for workers in (1, 2, 4):
+            with fastpath.scoped(True), jit.scoped() as engine:
+                sweep = parallel.run_sweep(TABLES, workers=workers)
+                sweeps[workers] = {
+                    "results": sweep["results"],
+                    "jit": sweep["jit"],
+                    "merged_totals": engine.stats.to_dict(),
+                }
+        blobs = {w: json.dumps(s, sort_keys=True)
+                 for w, s in sweeps.items()}
+        assert blobs[1] == blobs[2], "1 vs 2 workers diverged"
+        assert blobs[2] == blobs[4], "2 vs 4 workers diverged"
+        assert sweeps[1]["results"] == interp
+        totals = sweeps[1]["jit"]["totals"]
+        assert totals["hits"] > 0, totals
+        assert totals == sweeps[1]["merged_totals"]
+
+    def test_telemetry_session_harvests_jit_counters(self):
+        """A sweep under both telemetry and the JIT surfaces the cell
+        stats as ``jit.*`` counters: every dispatch deopts (the session
+        is an observer), and the harvest happens at merge time."""
+        from repro import telemetry
+        with fastpath.scoped(True), jit.scoped() as engine:
+            with telemetry.scoped("jit-sweep") as session:
+                parallel.run_sweep(TABLES, workers=1)
+        assert session.metrics.counter("jit.deopts").value > 0
+        assert session.metrics.counter("jit.deopts").value == \
+            engine.stats.deopts
+        assert engine.stats.hits == 0

@@ -420,6 +420,86 @@ def run_jit_bench(tables: Tuple[str, ...] = DEFAULT_TABLES,
     return artifact
 
 
+def run_switchless_bench(seed: int = 0, iterations: int = 5,
+                         workers: Optional[int] = None,
+                         repeats: int = 3,
+                         output: Optional[str] = None) -> Dict[str, Any]:
+    """Measure the switchless call engine (BENCH_PR7).
+
+    Times the three-way mechanism sweep (baseline / world_call /
+    force-switchless Table 4–6 cells) serially and through the worker
+    pool, best of ``repeats`` each, and checks both agree on every
+    simulated number.  The modeled-cycle evidence rides along under
+    ``switchless``: the campaign's adaptive-policy proof (adaptive must
+    beat static world_call on the bursty workload and must not flip on
+    the sparse one) and the 1/2/4-engine-worker determinism sweep.
+    ``equivalent`` folds those campaign claims in, so the artifact
+    fails loudly when the policy stops paying for itself.
+    """
+    from repro.switchless import campaign as _campaign
+
+    _gc_freeze()
+    tables = ("mechanisms",)
+    with fastpath.scoped(True):
+        serial = _best_of(repeats, lambda: _run_serial(tables))
+        pooled = _best_of(repeats, lambda: _run_parallel(tables, workers))
+
+    t0 = time.perf_counter()
+    campaign = _campaign.run_campaign(seed=seed, iterations=iterations)
+    campaign_run = {"wall_seconds": round(time.perf_counter() - t0, 4)}
+
+    adaptive = campaign["adaptive"]
+    bursty = adaptive["bursty"]["mechanisms"]
+    summary = campaign["summary"]
+    equivalent = (serial["results"] == pooled["results"]
+                  and all(summary.values()))
+
+    artifact: Dict[str, Any] = {
+        "host": {
+            "cpus": parallel.default_workers(),
+            "python": platform.python_version(),
+        },
+        "tables": list(tables),
+        "repeats": repeats,
+        "gc": "startup heap frozen out of gen-2 scans on both sides",
+        "runs": {
+            "three_way_serial": _strip_results(serial),
+            "three_way_parallel": _strip_results(pooled),
+            "campaign": campaign_run,
+        },
+        "equivalent": equivalent,
+        # Static world_call cycles over adaptive cycles on the hot
+        # workload: > 1.0 means the policy's flips paid off.
+        "switchless_adaptive_speedup": round(
+            bursty["world_call"]["cycles_calls"]
+            / bursty["adaptive"]["cycles_calls"], 3),
+        "switchless": {
+            "seed": campaign["seed"],
+            "three_way": campaign["three_way"],
+            "adaptive": {
+                workload: {
+                    "mean_call_cycles": {
+                        mechanism: cell["mean_call_cycles"]
+                        for mechanism, cell in
+                        entry["mechanisms"].items()},
+                    "flips": entry["adaptive_flips"],
+                    "beats_world_call":
+                        entry["adaptive_beats_world_call"],
+                }
+                for workload, entry in sorted(adaptive.items())},
+            "worker_sweep": campaign["worker_sweep"],
+            "tuning": campaign["tuning"],
+            "summary": summary,
+        },
+    }
+
+    if output is not None:
+        with open(output, "w") as fh:
+            json.dump(artifact, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return artifact
+
+
 def dump_counters(tables: Tuple[str, ...] = DEFAULT_TABLES,
                   jit_on: bool = False,
                   output: Optional[str] = None) -> str:
@@ -451,6 +531,7 @@ def main(argv=None) -> int:
 
     ``--mode telemetry`` (default) is the PR3 telemetry-overhead bench;
     ``--mode jit`` produces the PR6 superblock artifact; ``--mode
+    switchless`` produces the PR7 call-engine artifact; ``--mode
     counters`` dumps the sweep's simulated numbers for the CI
     jit-on/off ``cmp``; ``--mode micro`` runs just the transition
     microbenchmark.
@@ -460,7 +541,8 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Wall-clock bench harnesses (BENCH artifacts)")
     parser.add_argument("--mode", default="telemetry",
-                        choices=("telemetry", "jit", "counters", "micro"))
+                        choices=("telemetry", "jit", "switchless",
+                                 "counters", "micro"))
     parser.add_argument("--output", default=None)
     parser.add_argument("--baseline-src", default=None, metavar="DIR",
                         help="a pre-telemetry checkout's src/ to time "
@@ -475,6 +557,11 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--calls", type=int, default=2000,
                         help="microbench calls per round")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="switchless mode: campaign workload seed")
+    parser.add_argument("--iterations", type=int, default=5,
+                        help="switchless mode: campaign lmbench "
+                        "iterations per cell")
     parser.add_argument("--tables", default=",".join(DEFAULT_TABLES))
     args = parser.parse_args(argv)
     tables = tuple(args.tables.split(","))
@@ -495,6 +582,31 @@ def main(argv=None) -> int:
                 fh.write(text + "\n")
         print(text)
         return 0 if micro["equivalent"] else 1
+
+    if args.mode == "switchless":
+        artifact = run_switchless_bench(
+            seed=args.seed, iterations=args.iterations,
+            repeats=args.repeats,
+            output=args.output or "BENCH_PR7.json")
+        runs = artifact["runs"]
+        print(f"three-way serial: "
+              f"{runs['three_way_serial']['wall_seconds']}s  "
+              f"parallel: {runs['three_way_parallel']['wall_seconds']}s  "
+              f"campaign: {runs['campaign']['wall_seconds']}s")
+        sl = artifact["switchless"]
+        for workload, entry in sl["adaptive"].items():
+            cycles = entry["mean_call_cycles"]
+            print(f"{workload}: world_call {cycles['world_call']}cy  "
+                  f"switchless {cycles['switchless']}cy  "
+                  f"adaptive {cycles['adaptive']}cy "
+                  f"({entry['flips']} flips)")
+        print(f"adaptive speedup vs world_call: "
+              f"x{artifact['switchless_adaptive_speedup']}  "
+              f"worker sweep identical: "
+              f"{sl['summary']['worker_sweep_deterministic']}")
+        print(f"equivalent: {artifact['equivalent']}  -> "
+              f"{args.output or 'BENCH_PR7.json'}")
+        return 0 if artifact["equivalent"] else 1
 
     if args.mode == "jit":
         artifact = run_jit_bench(

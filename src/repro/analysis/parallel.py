@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import jit as _jit
+from repro import switchless as _switchless
 from repro import telemetry
 from repro.analysis import experiments
 
@@ -46,6 +47,7 @@ class CellResult:
     worker_pid: int
     telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False)
     jit: Optional[Dict[str, int]] = field(default=None, repr=False)
+    switchless: Optional[Dict[str, int]] = field(default=None, repr=False)
 
 
 def default_workers() -> int:
@@ -68,6 +70,7 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     runner, args = spec
     cell_telemetry: Optional[Dict[str, Any]] = None
     cell_jit: Optional[Dict[str, int]] = None
+    cell_switchless: Optional[Dict[str, int]] = None
     t0 = time.perf_counter()
     # With the trace-JIT on, every cell gets its own fresh engine
     # (same threshold/capacity as the installed one): heat and hit
@@ -82,6 +85,17 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     else:
         jit_ctx = None
     engine = jit_ctx.__enter__() if jit_ctx is not None else None
+    # Same per-cell isolation for the switchless engine: a clone (same
+    # config, fresh counters/policy/rings) sees only the cell's own
+    # call stream, so flips and tuner moves — and the spec-order merge
+    # of the counters — are identical at any worker count.
+    if _switchless.enabled():
+        installed_sl = _switchless.current()
+        assert installed_sl is not None
+        sl_ctx = _switchless.scoped(installed_sl.clone())
+    else:
+        sl_ctx = None
+    sl_engine = sl_ctx.__enter__() if sl_ctx is not None else None
     try:
         if telemetry.enabled():
             with telemetry.scoped(f"cell:{runner}") as session:
@@ -92,13 +106,16 @@ def _execute_cell(spec: CellSpec) -> CellResult:
         else:
             value = experiments.CELL_RUNNERS[runner](*args)
     finally:
+        if sl_ctx is not None:
+            cell_switchless = sl_engine.stats.to_dict()
+            sl_ctx.__exit__(None, None, None)
         if jit_ctx is not None:
             cell_jit = engine.stats.to_dict()
             jit_ctx.__exit__(None, None, None)
     return CellResult(runner=runner, args=args, value=value,
                       wall_seconds=time.perf_counter() - t0,
                       worker_pid=os.getpid(), telemetry=cell_telemetry,
-                      jit=cell_jit)
+                      jit=cell_jit, switchless=cell_switchless)
 
 
 def _merge_cell_telemetry(cells: List[CellResult]) -> None:
@@ -136,6 +153,24 @@ def _merge_cell_jit(cells: List[CellResult]) -> None:
                 session.on_jit_stats(cell.jit)
 
 
+def _merge_cell_switchless(cells: List[CellResult]) -> None:
+    """Fold each cell's switchless counters into the parent engine.
+
+    Spec-order addition, exactly like the JIT merge: totals are
+    byte-identical at any worker count.  A parent telemetry session
+    absorbs the same harvest as ``switchless.*`` counters.
+    """
+    engine = _switchless.current()
+    if engine is None:
+        return
+    session = telemetry.current()
+    for cell in cells:
+        if cell.switchless is not None:
+            engine.stats.merge(cell.switchless)
+            if session is not None:
+                session.on_switchless_stats(cell.switchless)
+
+
 def run_cells(specs: List[CellSpec], workers: Optional[int] = None
               ) -> List[CellResult]:
     """Execute cells, in parallel when it can help.
@@ -146,6 +181,7 @@ def run_cells(specs: List[CellSpec], workers: Optional[int] = None
     cells = _run_cells_raw(specs, workers)
     _merge_cell_telemetry(cells)
     _merge_cell_jit(cells)
+    _merge_cell_switchless(cells)
     return cells
 
 
@@ -213,16 +249,23 @@ def run_sweep(tables: Tuple[str, ...] = ("table4", "table5", "table6",
     "wall_seconds": total}``.
     """
     flat: List[CellSpec] = []
+    owners: List[str] = []
     for table in tables:
         make_specs, _ = experiments.TABLE_PLANS[table]
-        flat.extend(make_specs())
+        specs = make_specs()
+        flat.extend(specs)
+        # Remember which plan contributed each cell: plan names and
+        # cell-runner names can differ (the "mechanisms" plan fans out
+        # "mechanism" cells).
+        owners.extend([table] * len(specs))
     t0 = time.perf_counter()
     cells = run_cells(flat, workers)
     total = time.perf_counter() - t0
     results: Dict[str, Any] = {}
     for table in tables:
         _, merge = experiments.TABLE_PLANS[table]
-        own = [(c.args, c.value) for c in cells if c.runner == table]
+        own = [(c.args, c.value)
+               for c, owner in zip(cells, owners) if owner == table]
         results[table] = merge(own)
     sweep: Dict[str, Any] = {
         "results": results,
@@ -240,4 +283,18 @@ def run_sweep(tables: Tuple[str, ...] = ("table4", "table5", "table6",
             per_cell.append({"runner": c.runner, "args": list(c.args),
                              "stats": stats})
         sweep["jit"] = {"totals": merged.to_dict(), "cells": per_cell}
+    if _switchless.enabled():
+        installed_sl = _switchless.current()
+        assert installed_sl is not None
+        merged_sl = _switchless.SwitchlessStats()
+        per_cell_sl = []
+        for c in cells:
+            stats = c.switchless or \
+                {name: 0 for name in _switchless.STAT_FIELDS}
+            merged_sl.merge(stats)
+            per_cell_sl.append({"runner": c.runner, "args": list(c.args),
+                                "stats": stats})
+        sweep["switchless"] = {"totals": merged_sl.to_dict(),
+                               "tuning": installed_sl.tuning(),
+                               "cells": per_cell_sl}
     return sweep

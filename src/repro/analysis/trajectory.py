@@ -45,6 +45,7 @@ _SCALAR_SERIES = {
     "jit_speedup_parallel": "higher",
     "jit_speedup_vs_stepwise": "higher",
     "micro_superblock_vs_baseline": "higher",
+    "switchless_adaptive_speedup": "higher",
 }
 
 
@@ -98,6 +99,20 @@ def extract_series(bench: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
                 "samples": [bench[name]],
                 "direction": direction,
             }
+    switchless = bench.get("switchless")
+    if isinstance(switchless, dict):
+        # Modeled mean call cycles per workload and transport — the
+        # PR7 engine's whole point is driving these down.
+        for workload, entry in sorted(
+                switchless.get("adaptive", {}).items()):
+            cycles = entry.get("mean_call_cycles", {})
+            for mechanism, value in sorted(cycles.items()):
+                if isinstance(value, (int, float)):
+                    series[f"switchless.{workload}.{mechanism}_cycles"] = {
+                        "value": value,
+                        "samples": [value],
+                        "direction": "lower",
+                    }
     return series
 
 

@@ -31,6 +31,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro import audit as _audit
 from repro import faults as _faults
 from repro import jit as _jit
+from repro import switchless as _switchless
 from repro import telemetry
 from repro.core import convention, fastpath
 from repro.core.binding import BindingTable
@@ -40,6 +41,7 @@ from repro.errors import (
     AuthorizationDenied,
     CalleeHang,
     CallTimeout,
+    ConfigurationError,
     ControlFlowViolation,
     GuestOSError,
     NoSuchWorld,
@@ -196,7 +198,8 @@ class WorldCallRuntime:
     # ------------------------------------------------------------------
 
     def call(self, caller: World, callee_wid: int, payload: Any = None, *,
-             authorize: bool = True) -> Any:
+             authorize: bool = True,
+             mechanism: Optional[str] = None) -> Any:
         """Perform one complete cross-world call and return its result.
 
         ``authorize=False`` runs the Section 7.2 minimal-instrumentation
@@ -205,7 +208,24 @@ class WorldCallRuntime:
         software didn't authenticate the caller during this
         evaluation").  It is also the right setting when authorization
         is delegated to the hardware binding table.
+
+        ``mechanism`` selects the call mechanism per site:
+        ``"world_call"`` (the default CrossOver path), ``"baseline"``
+        (the legacy vmcall/trap redirection), or ``"switchless"`` (a
+        worker context in the callee world services the request over a
+        shared-memory ring — needs an installed
+        :mod:`repro.switchless` engine).  With ``mechanism=None`` and
+        an engine installed, the engine's adaptive policy decides; the
+        seam sits *above* the JIT hook, so a site the policy has
+        flipped routes away before any compiled superblock runs.
         """
+        engine = _switchless._engine
+        if engine is not None and mechanism is None:
+            mechanism = engine.select("world", caller.wid, callee_wid,
+                                      self.machine.cpu.perf.cycles)
+        if mechanism is not None and mechanism != "world_call":
+            return self._call_mechanism(mechanism, caller, callee_wid,
+                                        payload, authorize=authorize)
         session = telemetry._session
         if session is None:
             return self._call_guarded(caller, callee_wid, payload,
@@ -220,6 +240,29 @@ class WorldCallRuntime:
                                  callee_wid=callee_wid):
             return self._call_guarded(caller, callee_wid, payload,
                                       authorize=authorize)
+
+    def _call_mechanism(self, mechanism: str, caller: World,
+                        callee_wid: int, payload: Any, *,
+                        authorize: bool) -> Any:
+        """Route an explicitly (or policy-) selected mechanism."""
+        if mechanism == "switchless":
+            engine = _switchless._engine
+            if engine is None:
+                raise ConfigurationError(
+                    "mechanism='switchless' needs an installed engine; "
+                    "call repro.switchless.install() first")
+            return engine.world_call(self, caller, callee_wid, payload,
+                                     authorize=authorize)
+        if mechanism == "baseline":
+            if not self._legacy_available(caller, callee_wid):
+                raise ConfigurationError(
+                    "mechanism='baseline' needs guest worlds with a "
+                    "registered handler and a CPU in guest mode")
+            return self._legacy_call(caller, callee_wid, payload,
+                                     authorize=authorize)
+        raise ConfigurationError(
+            f"unknown call mechanism {mechanism!r}; expected 'baseline', "
+            "'world_call' or 'switchless'")
 
     def _call_guarded(self, caller: World, callee_wid: int, payload: Any, *,
                       authorize: bool) -> Any:

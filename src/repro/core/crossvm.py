@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from repro import audit as _audit
 from repro import faults as _faults
 from repro import jit as _jit
+from repro import switchless as _switchless
 from repro import telemetry
 from repro.core import convention, fastpath
 from repro.errors import (ConfigurationError, GuestOSError, SimulationError,
@@ -72,6 +73,9 @@ _CONTEXT_SAVE_BYTES = 160
 #: off the fast path; the content is always the same).
 _CTX_ZEROS = b"\x00" * _CONTEXT_SAVE_BYTES
 
+#: Sentinel: the mechanism seam declined and the default path should run.
+_NOT_ROUTED = object()
+
 
 class _PairState:
     """Per-(VM, VM) plumbing created once at setup time."""
@@ -104,6 +108,8 @@ class CrossVMSyscallMechanism:
         self.recovery_legacy = True
         #: Recovery-policy activations (mirrors WorldCallRuntime).
         self.recoveries: Counter = Counter()
+        #: Round trips served over an explicit ``mechanism="baseline"``.
+        self.baseline_calls = 0
 
     # ------------------------------------------------------------------
     # one-time setup
@@ -183,19 +189,21 @@ class CrossVMSyscallMechanism:
 
     def call(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
              name: str, *args, executor: Optional[Process] = None,
-             **kwargs) -> Any:
+             mechanism: Optional[str] = None, **kwargs) -> Any:
         """Execute syscall ``name`` in ``to_vm``'s kernel.
 
         Must be invoked from ``from_vm``'s kernel at CPL 0 — i.e. from
         inside the syscall dispatcher (step 2 of Figure 4).  Remote
         errno failures are re-raised locally.
+
+        ``mechanism`` selects the transport per site: the default
+        VMFUNC round trip (``None``/``"world_call"``/``"vmfunc"``), the
+        trap-based ``"baseline"``, or ``"switchless"`` (a worker in
+        ``to_vm`` services the request over a shared-memory ring).
+        With an installed :mod:`repro.switchless` engine and no
+        explicit choice, the engine's policy decides; the seam sits
+        above the JIT hook so flipped sites bypass compiled superblocks.
         """
-        engine = _jit._engine
-        if engine is not None:
-            result = engine.crossvm_syscall(self, from_vm, to_vm, name,
-                                            args, kwargs, executor)
-            if result is not _jit.DEOPT:
-                return result
 
         def serve(payload):
             r_name, r_args, r_kwargs = payload
@@ -207,18 +215,34 @@ class CrossVMSyscallMechanism:
             return remote_kernel.execute_syscall(
                 runner, r_name, *r_args, **r_kwargs)
 
+        routed = self._route(from_vm, to_vm, mechanism,
+                             (name, args, kwargs), serve, "crossvm")
+        if routed is not _NOT_ROUTED:
+            return routed
+        engine = _jit._engine
+        if engine is not None:
+            result = engine.crossvm_syscall(self, from_vm, to_vm, name,
+                                            args, kwargs, executor)
+            if result is not _jit.DEOPT:
+                return result
         return self._roundtrip(from_vm, to_vm, (name, args, kwargs), serve)
 
     def call_function(self, from_vm: VirtualMachine,
                       to_vm: VirtualMachine,
-                      fn: Callable[[Any], Any], payload: Any = None) -> Any:
+                      fn: Callable[[Any], Any], payload: Any = None, *,
+                      mechanism: Optional[str] = None) -> Any:
         """Run an arbitrary kernel-side service in ``to_vm`` over the
         same Figure-4 transition sequence.
 
         Used by systems whose remote endpoint is not a syscall — e.g. a
         split-driver backend's transmit routine or Tahoma's browser-call
         dispatcher.  ``fn`` executes in ``to_vm``'s kernel context.
+        ``mechanism`` works as in :meth:`call`.
         """
+        routed = self._route(from_vm, to_vm, mechanism, payload, fn,
+                             "crossvm_fn")
+        if routed is not _NOT_ROUTED:
+            return routed
         engine = _jit._engine
         if engine is not None:
             result = engine.crossvm_function(self, from_vm, to_vm, fn,
@@ -226,6 +250,37 @@ class CrossVMSyscallMechanism:
             if result is not _jit.DEOPT:
                 return result
         return self._roundtrip(from_vm, to_vm, payload, fn)
+
+    def _route(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
+               mechanism: Optional[str], request_obj: Any,
+               server: Callable[[Any], Any], kind: str) -> Any:
+        """The mechanism seam shared by :meth:`call`/:meth:`call_function`.
+
+        Returns :data:`_NOT_ROUTED` when the default VMFUNC path should
+        run.  Zero cost when no engine is installed and no explicit
+        mechanism was requested: one module-attribute read, two branches.
+        """
+        sl_engine = _switchless._engine
+        if mechanism is None:
+            if sl_engine is None:
+                return _NOT_ROUTED
+            mechanism = sl_engine.select(kind, from_vm.name, to_vm.name,
+                                         self.machine.cpu.perf.cycles)
+        if mechanism in (None, "world_call", "vmfunc"):
+            return _NOT_ROUTED
+        if mechanism == "switchless":
+            if sl_engine is None:
+                raise ConfigurationError(
+                    "mechanism='switchless' needs an installed engine; "
+                    "call repro.switchless.install() first")
+            return sl_engine.crossvm_call(self, from_vm, to_vm,
+                                          request_obj, server)
+        if mechanism == "baseline":
+            return self._baseline_roundtrip(from_vm, to_vm, request_obj,
+                                            server)
+        raise ConfigurationError(
+            f"unknown call mechanism {mechanism!r}; expected 'baseline', "
+            "'vmfunc'/'world_call' or 'switchless'")
 
     def _roundtrip(self, from_vm: VirtualMachine, to_vm: VirtualMachine,
                    request_obj: Any, server: Callable[[Any], Any]) -> Any:
@@ -347,29 +402,56 @@ class CrossVMSyscallMechanism:
             raise result
         return result
 
+    def _trap_roundtrip(self, from_vm: VirtualMachine,
+                        to_vm: VirtualMachine, request_obj: Any,
+                        server: Callable[[Any], Any],
+                        first_exit: ExitReason, label: str) -> Any:
+        """The trap-based round trip both pre-VMFUNC paths share: exit
+        to the hypervisor, enter the peer VM, run the service there,
+        and come back with a second exit/entry pair.  Returns the
+        outcome — possibly a :class:`GuestOSError` instance, which the
+        caller decides how to surface."""
+        cpu = self.machine.cpu
+        hypervisor = self.machine.hypervisor
+        cpu.vmexit(first_exit, f"{label} out")
+        cpu.charge("vmexit_handle")
+        hypervisor.launch(cpu, to_vm, f"{label} entry")
+        try:
+            outcome = server(request_obj)
+        except GuestOSError as err:
+            outcome = err
+        cpu.vmexit(ExitReason.VMCALL, f"{label} done")
+        cpu.charge("vmexit_handle")
+        hypervisor.launch(cpu, from_vm, f"{label} resume")
+        return outcome
+
+    def _baseline_roundtrip(self, from_vm: VirtualMachine,
+                            to_vm: VirtualMachine, request_obj: Any,
+                            server: Callable[[Any], Any]) -> Any:
+        """An explicitly requested ``mechanism="baseline"`` round trip.
+
+        Same transitions as the legacy fallback, but deliberate — no
+        recovery accounting."""
+        outcome = self._trap_roundtrip(from_vm, to_vm, request_obj, server,
+                                       ExitReason.VMCALL,
+                                       "crossvm baseline")
+        self.baseline_calls += 1
+        if isinstance(outcome, GuestOSError):
+            raise outcome
+        return outcome
+
     def _legacy_roundtrip(self, from_vm: VirtualMachine,
                           to_vm: VirtualMachine, request_obj: Any,
                           server: Callable[[Any], Any]) -> Any:
         """The pre-VMFUNC fallback: a trap-based round trip.
 
         When the exit-free EPTP switch is unavailable (VMFUNC faulted),
-        the dispatcher falls back to what baseline systems do — exit to
-        the hypervisor, enter the peer VM, run the service there, and
-        come back with a second exit/entry pair.  Two full world
-        switches instead of zero, but the call still completes.
+        the dispatcher falls back to what baseline systems do.  Two full
+        world switches instead of zero, but the call still completes.
         """
-        cpu = self.machine.cpu
-        hypervisor = self.machine.hypervisor
-        cpu.vmexit(ExitReason.VMFUNC_FAULT, "crossvm VMFUNC failed")
-        cpu.charge("vmexit_handle")
-        hypervisor.launch(cpu, to_vm, "crossvm legacy entry")
-        try:
-            outcome = server(request_obj)
-        except GuestOSError as err:
-            outcome = err
-        cpu.vmexit(ExitReason.VMCALL, "crossvm legacy done")
-        cpu.charge("vmexit_handle")
-        hypervisor.launch(cpu, from_vm, "crossvm legacy resume")
+        outcome = self._trap_roundtrip(from_vm, to_vm, request_obj, server,
+                                       ExitReason.VMFUNC_FAULT,
+                                       "crossvm legacy")
         self.recoveries["legacy_roundtrip"] += 1
         session = telemetry._session
         if session is not None:

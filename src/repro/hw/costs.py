@@ -129,6 +129,21 @@ class CostModel:
     wt_miss_exception: Cost = Cost(0, 900)      # exception delivery to root
     binding_check_hw: Cost = Cost(0, 30)        # §3.4 hardware binding table
 
+    # --- switchless datapath (worker contexts, shared-memory rings) --------
+    # Calibrated against the VMFUNC/CrossOver primitives above: a hot
+    # switchless round trip (enqueue + line transfer + one poll hit +
+    # dequeue, each way) costs ~356 cycles vs ~510 for the minimal-mode
+    # world_call, while a cold call that must wake a sleeping worker
+    # pays futex-wake latency far above any switch.  That asymmetry is
+    # what the adaptive policy trades on.
+    ring_enqueue: Cost = Cost(10, 45)           # slot claim + descriptor store
+    ring_dequeue: Cost = Cost(10, 45)           # descriptor load + slot release
+    cache_line_transfer: Cost = Cost(0, 70)     # ring line crossing cores
+    worker_poll: Cost = Cost(3, 18)             # one spin-loop check iteration
+    worker_sleep: Cost = Cost(30, 900)          # futex wait entry (worker side)
+    worker_wakeup: Cost = Cost(60, 2400)        # futex wake of a parked worker
+    worker_context_switch: Cost = Cost(150, 1200)  # fiber switch in callee world
+
     # --- data movement -----------------------------------------------------
     copy_per_byte_x16: Cost = Cost(1, 1)        # per 16 copied bytes
     page_map: Cost = Cost(150, 600)             # mapping one page (PT + EPT)

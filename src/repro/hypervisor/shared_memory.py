@@ -83,3 +83,113 @@ class SharedMemoryRegion:
             offset += chunk
             length -= chunk
         return bytes(out)
+
+
+#: Bytes of ring header: head and tail, each an 8-byte monotonically
+#: increasing slot counter (never reduced modulo, so used == tail - head).
+RING_HEADER_BYTES = 16
+
+#: Default slot granularity — one cache line, so slot counts double as
+#: cache-line-transfer counts for the cost model.
+RING_SLOT_BYTES = 64
+
+
+class SharedRing:
+    """A bounded single-producer/single-consumer descriptor ring stored
+    inside a :class:`SharedMemoryRegion`.
+
+    Records are written as an 8-byte big-endian length prefix followed by
+    the payload, rounded up to whole slots; a record may span several
+    contiguous slots (wrapping byte-wise at the end of the data area).
+    Head and tail live in the region itself as free-running slot
+    counters, so both sides of a cross-world pair observe the same
+    protocol state through their common mapping.
+    """
+
+    def __init__(self, region: SharedMemoryRegion, *, base: int = 0,
+                 slot_bytes: int = RING_SLOT_BYTES, label: str = "ring") -> None:
+        if slot_bytes < 16:
+            raise SimulationError("ring slots must be at least 16 bytes")
+        data_bytes = region.size - base - RING_HEADER_BYTES
+        if data_bytes < slot_bytes:
+            raise SimulationError("shared region too small for a ring")
+        self.region = region
+        self.base = base
+        self.slot_bytes = slot_bytes
+        self.label = label
+        self.capacity_slots = data_bytes // slot_bytes
+        self._data_base = base + RING_HEADER_BYTES
+        self._data_bytes = self.capacity_slots * slot_bytes
+        self.reset()
+
+    # -- protocol state (lives in the shared region) -----------------------
+
+    @property
+    def head(self) -> int:
+        return int.from_bytes(self.region.read(self.base, 8), "big")
+
+    @property
+    def tail(self) -> int:
+        return int.from_bytes(self.region.read(self.base + 8, 8), "big")
+
+    @property
+    def slots_used(self) -> int:
+        return self.tail - self.head
+
+    @property
+    def slots_free(self) -> int:
+        return self.capacity_slots - self.slots_used
+
+    def reset(self) -> None:
+        """Zero the head/tail counters (setup-time, host-side)."""
+        self.region.write(self.base, b"\x00" * RING_HEADER_BYTES)
+
+    @staticmethod
+    def slots_for(nbytes: int, slot_bytes: int = RING_SLOT_BYTES) -> int:
+        """Slots one record of ``nbytes`` payload occupies."""
+        return (8 + nbytes + slot_bytes - 1) // slot_bytes
+
+    # -- byte-wise wrap within the slot area -------------------------------
+
+    def _write_wrapped(self, pos: int, data: bytes) -> None:
+        pos %= self._data_bytes
+        first = min(len(data), self._data_bytes - pos)
+        self.region.write(self._data_base + pos, data[:first])
+        if first < len(data):
+            self.region.write(self._data_base, data[first:])
+
+    def _read_wrapped(self, pos: int, length: int) -> bytes:
+        pos %= self._data_bytes
+        first = min(length, self._data_bytes - pos)
+        out = self.region.read(self._data_base + pos, first)
+        if first < length:
+            out += self.region.read(self._data_base, length - first)
+        return out
+
+    # -- producer / consumer ------------------------------------------------
+
+    def try_push(self, payload: bytes) -> int:
+        """Enqueue one record; returns slots consumed, or 0 if full."""
+        nslots = self.slots_for(len(payload), self.slot_bytes)
+        if nslots > self.capacity_slots:
+            raise SimulationError(
+                f"record of {len(payload)} bytes exceeds ring capacity")
+        if nslots > self.slots_free:
+            return 0
+        tail = self.tail
+        self._write_wrapped((tail % self.capacity_slots) * self.slot_bytes,
+                            len(payload).to_bytes(8, "big") + payload)
+        self.region.write(self.base + 8, (tail + nslots).to_bytes(8, "big"))
+        return nslots
+
+    def try_pop(self):
+        """Dequeue one record; returns ``(payload, slots)`` or ``None``."""
+        head = self.head
+        if head == self.tail:
+            return None
+        pos = (head % self.capacity_slots) * self.slot_bytes
+        length = int.from_bytes(self._read_wrapped(pos, 8), "big")
+        payload = self._read_wrapped(pos + 8, length)
+        nslots = self.slots_for(length, self.slot_bytes)
+        self.region.write(self.base, (head + nslots).to_bytes(8, "big"))
+        return payload, nslots

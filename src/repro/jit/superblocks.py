@@ -88,7 +88,15 @@ class CrossvmSuperblock:
     def compile(cls, engine, mech, from_vm, to_vm,
                 executor) -> Optional["CrossvmSuperblock"]:
         from repro.core import crossvm as _crossvm
+        from repro import switchless as _switchless
 
+        sl = _switchless.current()
+        if sl is not None and sl.site_flipped("crossvm", from_vm.name,
+                                              to_vm.name):
+            # The adaptive policy routes this pair through the
+            # switchless worker; a compiled world-switch block would
+            # never be dispatched (and would go stale on flip-back).
+            return None
         state = mech._pairs.get(mech._key(from_vm, to_vm))
         if state is None or not state.ctx_zeroed:
             return None
@@ -412,7 +420,14 @@ class WorldCallSuperblock:
     def compile(cls, engine, runtime, caller, callee_wid,
                 authorize) -> Optional["WorldCallSuperblock"]:
         from repro.core import call as _call
+        from repro import switchless as _switchless
 
+        sl = _switchless.current()
+        if sl is not None and sl.site_flipped("world", caller.wid,
+                                              callee_wid):
+            # Flipped sites dispatch through the switchless ring above
+            # the JIT hook; refuse to spend a compile on them.
+            return None
         machine = runtime.machine
         cpu = machine.cpu
         if runtime.binding_table is not None or cpu.wt_caches is None \

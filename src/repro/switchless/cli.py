@@ -1,0 +1,82 @@
+"""``crossover-switchless`` — run the switchless evaluation campaign.
+
+Runs the three-way (baseline / world_call / switchless) comparison,
+the adaptive-policy proof workloads, and the 1/2/4-worker determinism
+sweep from :mod:`repro.switchless.campaign`, prints the summary,
+optionally writes the schema-validated ``crossover-switchless/v1``
+artifact, and exits nonzero when a campaign claim fails::
+
+    crossover-switchless                        # defaults, summary only
+    crossover-switchless --seed 3 --out SWITCHLESS.json
+    crossover-switchless --iterations 3 --workers 1 --quiet
+
+Exit status: ``0`` all claims hold and the artifact passes its own
+schema; ``1`` a claim failed (adaptive slower than static world_call
+on the bursty workload, a spurious flip on the sparse workload, a
+worker-sweep mismatch) or the artifact fails its schema; ``2`` usage
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.switchless import campaign as _campaign
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crossover-switchless",
+        description="Deterministic switchless-call evaluation campaign "
+                    "(three-way comparison + adaptive-policy proof).")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload schedule seed (default: %(default)s)")
+    parser.add_argument("--iterations", type=int, default=5,
+                        help="lmbench iterations per three-way cell "
+                             "(default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel pool workers (default: one per CPU; "
+                             "the artifact is identical at any count)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the crossover-switchless/v1 artifact "
+                             "here")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary printout")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.iterations < 1:
+        print("crossover-switchless: --iterations must be >= 1",
+              file=sys.stderr)
+        return 2
+    artifact = _campaign.run_campaign(seed=args.seed,
+                                      iterations=args.iterations,
+                                      workers=args.workers)
+
+    if not args.quiet:
+        print(_campaign.render_summary(artifact))
+
+    from repro.telemetry.schema import load_schema, validate
+    schema_errors = validate(artifact, load_schema("switchless"))
+    for error in schema_errors:
+        print(f"crossover-switchless: schema violation: {error}",
+              file=sys.stderr)
+
+    if args.out:
+        _campaign.write_artifact(artifact, args.out)
+        if not args.quiet:
+            print(f"wrote {args.out}")
+
+    failed = [name for name, ok in artifact["summary"].items() if not ok]
+    for name in failed:
+        print(f"crossover-switchless: claim failed: {name}",
+              file=sys.stderr)
+    return 1 if failed or schema_errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

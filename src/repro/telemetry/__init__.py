@@ -172,6 +172,7 @@ class TelemetrySession:
         self._redirect_hists: Dict[tuple, Callable] = {}
         self._fault_counters: Dict[str, Callable] = {}
         self._recovery_counters: Dict[str, Callable] = {}
+        self._switchless_counters: Dict[str, Callable] = {}
 
     @classmethod
     def lightweight(cls, label: str = "telemetry") -> "TelemetrySession":
@@ -261,6 +262,23 @@ class TelemetrySession:
         for name, value in stats.items():
             if value:
                 self.metrics.counter(f"jit.{name}").inc(value)
+
+    def on_switchless_call(self, kind: str) -> None:
+        """The switchless engine diverted one call (``kind`` is
+        ``world`` or ``crossvm``)."""
+        inc = self._switchless_counters.get(kind)
+        if inc is None:
+            inc = self._switchless_counters[kind] = self.metrics.counter(
+                "switchless.calls", kind=kind).inc
+        inc()
+
+    def on_switchless_stats(self, stats: Dict[str, int]) -> None:
+        """Absorb a switchless engine's counters at a quiescent point —
+        the sweep runner and bench harness call this with the engine's
+        totals, mirroring :meth:`on_jit_stats`."""
+        for name, value in stats.items():
+            if value:
+                self.metrics.counter(f"switchless.{name}").inc(value)
 
     def on_virq_injected(self, vector: int, vm_name: str) -> None:
         """The hypervisor injector queued one virtual interrupt."""

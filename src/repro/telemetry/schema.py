@@ -15,6 +15,7 @@ Usage::
     python -m repro.telemetry.schema trajectory TRAJECTORY.json
     python -m repro.telemetry.schema faults FAULTS_PR4.json
     python -m repro.telemetry.schema audit AUDIT.json
+    python -m repro.telemetry.schema switchless SWITCHLESS.json
 """
 
 from __future__ import annotations
@@ -106,7 +107,7 @@ def main(argv=None) -> int:
     if len(args) != 2:
         print("usage: python -m repro.telemetry.schema "
               "<metrics|chrome_trace|summary|bench|trajectory|faults"
-              "|audit> <file.json>",
+              "|audit|switchless> <file.json>",
               file=sys.stderr)
         return 2
     errors = validate_file(args[0], args[1])

@@ -1,0 +1,103 @@
+"""Switchless/JIT interplay: flipped sites must veto superblock
+compilation, flips must drop already-compiled blocks, and routing must
+bypass compiled blocks entirely on diverted sites."""
+
+import pytest
+
+from repro import jit, switchless as sl
+from repro.switchless import SwitchlessConfig, SwitchlessEngine
+from repro.switchless.campaign import _WorldCallHarness
+from repro.switchless.policy import SiteState
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    assert sl._engine is None
+    assert jit._engine is None
+    yield
+    assert sl._engine is None
+    assert jit._engine is None
+
+
+class TestCompileVeto:
+    def test_flipped_world_site_refuses_compile(self):
+        from repro.jit.superblocks import WorldCallSuperblock
+
+        engine = SwitchlessEngine(SwitchlessConfig(mode="adaptive"))
+        engine.policy.sites[("world", 1, 2)] = SiteState(
+            mechanism="switchless")
+        with sl.scoped(engine):
+            class _Caller:
+                wid = 1
+            assert WorldCallSuperblock.compile(None, None, _Caller(), 2,
+                                               False) is None
+
+    def test_flipped_crossvm_site_refuses_compile(self):
+        from repro.jit.superblocks import CrossvmSuperblock
+
+        engine = SwitchlessEngine(SwitchlessConfig(mode="adaptive"))
+        engine.policy.sites[("crossvm", "vm1", "vm2")] = SiteState(
+            mechanism="switchless")
+        with sl.scoped(engine):
+            class _VM:
+                def __init__(self, name):
+                    self.name = name
+            assert CrossvmSuperblock.compile(None, None, _VM("vm1"),
+                                             _VM("vm2"), None) is None
+
+    def test_force_mode_vetoes_everything(self):
+        engine = SwitchlessEngine(SwitchlessConfig(mode="force"))
+        assert engine.site_flipped("world", 9, 9)
+        assert engine.site_flipped("crossvm", "a", "b")
+
+    def test_observe_mode_vetoes_nothing(self):
+        engine = SwitchlessEngine(SwitchlessConfig(mode="observe"))
+        engine.policy.sites[("world", 1, 2)] = SiteState(
+            mechanism="switchless")
+        assert not engine.site_flipped("world", 1, 2)
+
+
+class TestFlipInvalidation:
+    def test_flip_drops_compiled_blocks(self):
+        """An adaptive flip invalidates every compiled superblock: the
+        flipped site's block is dead weight and stale heat elsewhere is
+        cheaper to rebuild than to audit."""
+        from repro.core import convention, fastpath
+
+        convention.clear_caches()
+        engine = SwitchlessEngine(SwitchlessConfig(mode="adaptive"))
+        with fastpath.scoped(True), jit.scoped(threshold=2) as jit_engine, \
+                sl.scoped(engine):
+            harness = _WorldCallHarness()
+            for _ in range(50):
+                harness.call()
+            compiled_before_flip = jit_engine.stats.compiled
+            assert compiled_before_flip >= 1
+            assert jit_engine.block_count() >= 1
+            # Drive the modeled clock over the window boundary and make
+            # the next call: the policy flips the (hot) site and the
+            # engine must drop every block.
+            harness.idle(engine.config.window_cycles + 1)
+            harness.call()
+            assert engine.stats.flips_to_switchless == 1
+            assert jit_engine.block_count() == 0
+
+    def test_flipped_site_routes_around_blocks(self):
+        """After the flip, calls go through the ring — the superblock
+        hit counter stops moving while switchless call counts climb."""
+        from repro.core import convention, fastpath
+
+        convention.clear_caches()
+        engine = SwitchlessEngine(SwitchlessConfig(mode="adaptive"))
+        with fastpath.scoped(True), jit.scoped(threshold=2) as jit_engine, \
+                sl.scoped(engine):
+            harness = _WorldCallHarness()
+            for _ in range(50):
+                harness.call()
+            harness.idle(engine.config.window_cycles + 1)
+            hits_at_flip = jit_engine.stats.hits
+            for _ in range(25):
+                harness.call()
+            assert jit_engine.stats.hits == hits_at_flip
+            assert engine.stats.calls == 25
+            assert jit_engine.block_count() == 0

@@ -200,3 +200,72 @@ class TestAuditSurface:
         assert err.seq == 7
         assert err.check == "link"
         assert "seq 7" in str(err)
+
+
+class TestSwitchlessSurface:
+    """The switchless subsystem's public surface and its
+    off-by-default discipline (PR 7)."""
+
+    def test_exports_resolve(self):
+        from repro import switchless
+        for name in switchless.__all__:
+            assert getattr(switchless, name) is not None
+
+    def test_core_names_importable(self):
+        from repro.switchless import (   # noqa: F401
+            AdaptivePolicy,
+            MODES,
+            STAT_FIELDS,
+            SwitchlessConfig,
+            SwitchlessEngine,
+            SwitchlessStats,
+        )
+        assert set(MODES) == {"adaptive", "observe", "force"}
+        assert "calls" in STAT_FIELDS
+
+    def test_disabled_by_default_on_clean_import(self):
+        from repro import switchless
+        assert switchless._engine is None
+        assert not switchless.enabled()
+        assert switchless.current() is None
+        assert switchless.stats_dict() == {}
+
+    def test_scoped_restores_previous_engine(self):
+        from repro import switchless
+        with switchless.scoped() as outer:
+            with switchless.scoped() as inner:
+                assert switchless.current() is inner
+            assert switchless.current() is outer
+        assert switchless.current() is None
+
+    def test_switchless_core_modules_are_leaves(self):
+        """Hot datapath modules (core.call, core.crossvm, jit) import
+        repro.switchless at module top; the engine and policy modules
+        must never import the machine stack at module top or the cycle
+        would bite.  (Lazy function-level imports are fine; campaign
+        and cli may import anything — __init__ does not pull them.)"""
+        import ast
+        import os
+        from repro import switchless
+        banned = ("repro.hw", "repro.core", "repro.hypervisor",
+                  "repro.machine", "repro.systems", "repro.telemetry",
+                  "repro.analysis", "repro.workloads", "repro.jit")
+        package_dir = os.path.dirname(switchless.__file__)
+        for filename in ("__init__.py", "engine.py", "policy.py"):
+            with open(os.path.join(package_dir, filename)) as fh:
+                tree = ast.parse(fh.read())
+            for node in tree.body:      # top level only
+                names = []
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    names = [node.module]
+                for name in names:
+                    assert not name.startswith(banned), \
+                        f"{filename} imports {name} at module top"
+
+    def test_call_seam_accepts_mechanism_keyword(self):
+        import inspect
+        from repro.core.call import WorldCallRuntime
+        signature = inspect.signature(WorldCallRuntime.call)
+        assert "mechanism" in signature.parameters

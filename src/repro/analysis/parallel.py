@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro import jit as _jit
+from repro import observatory as _observatory
 from repro import switchless as _switchless
 from repro import telemetry
 from repro.analysis import experiments
@@ -48,6 +49,7 @@ class CellResult:
     telemetry: Optional[Dict[str, Any]] = field(default=None, repr=False)
     jit: Optional[Dict[str, int]] = field(default=None, repr=False)
     switchless: Optional[Dict[str, int]] = field(default=None, repr=False)
+    observatory: Optional[Dict[str, Any]] = field(default=None, repr=False)
 
 
 def default_workers() -> int:
@@ -71,6 +73,25 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     cell_telemetry: Optional[Dict[str, Any]] = None
     cell_jit: Optional[Dict[str, int]] = None
     cell_switchless: Optional[Dict[str, int]] = None
+    cell_observatory: Optional[Dict[str, Any]] = None
+
+    # With an observatory installed, the cell records into its own
+    # spawned (same-config, zero-clock) observatory — scoped INSIDE the
+    # cell's telemetry session so the window baseline is the fresh
+    # session's zeros and the cell's windows depend only on its own
+    # modeled activity.  The payload ships back like the telemetry dict
+    # and the parent absorbs them in spec order: byte-identical at any
+    # worker count.
+    def _invoke() -> Any:
+        nonlocal cell_observatory
+        parent_obs = _observatory.current()
+        if parent_obs is None:
+            return experiments.CELL_RUNNERS[runner](*args)
+        with _observatory.scoped(parent_obs.spawn()) as obs:
+            value = experiments.CELL_RUNNERS[runner](*args)
+        cell_observatory = obs.to_dict()
+        return value
+
     t0 = time.perf_counter()
     # With the trace-JIT on, every cell gets its own fresh engine
     # (same threshold/capacity as the installed one): heat and hit
@@ -101,10 +122,10 @@ def _execute_cell(spec: CellSpec) -> CellResult:
             with telemetry.scoped(f"cell:{runner}") as session:
                 with session.tracer.span(f"cell:{runner}", category="cell",
                                          runner=runner, args=repr(args)):
-                    value = experiments.CELL_RUNNERS[runner](*args)
+                    value = _invoke()
             cell_telemetry = session.to_dict()
         else:
-            value = experiments.CELL_RUNNERS[runner](*args)
+            value = _invoke()
     finally:
         if sl_ctx is not None:
             cell_switchless = sl_engine.stats.to_dict()
@@ -115,7 +136,8 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     return CellResult(runner=runner, args=args, value=value,
                       wall_seconds=time.perf_counter() - t0,
                       worker_pid=os.getpid(), telemetry=cell_telemetry,
-                      jit=cell_jit, switchless=cell_switchless)
+                      jit=cell_jit, switchless=cell_switchless,
+                      observatory=cell_observatory)
 
 
 def _merge_cell_telemetry(cells: List[CellResult]) -> None:
@@ -171,6 +193,21 @@ def _merge_cell_switchless(cells: List[CellResult]) -> None:
                 session.on_switchless_stats(cell.switchless)
 
 
+def _merge_cell_observatory(cells: List[CellResult]) -> None:
+    """Hand each cell's windowed payload to the parent observatory.
+
+    Cells are absorbed in spec order and kept per-cell (each cell has
+    its own zero-based clock), so the parent's ``cells`` list — and
+    any artifact built from it — is byte-identical at any worker count.
+    """
+    parent = _observatory.current()
+    if parent is None:
+        return
+    for cell in cells:
+        if cell.observatory is not None:
+            parent.absorb_cell(cell.observatory, cell.runner, cell.args)
+
+
 def run_cells(specs: List[CellSpec], workers: Optional[int] = None
               ) -> List[CellResult]:
     """Execute cells, in parallel when it can help.
@@ -182,6 +219,7 @@ def run_cells(specs: List[CellSpec], workers: Optional[int] = None
     _merge_cell_telemetry(cells)
     _merge_cell_jit(cells)
     _merge_cell_switchless(cells)
+    _merge_cell_observatory(cells)
     return cells
 
 
@@ -297,4 +335,14 @@ def run_sweep(tables: Tuple[str, ...] = ("table4", "table5", "table6",
         sweep["switchless"] = {"totals": merged_sl.to_dict(),
                                "tuning": installed_sl.tuning(),
                                "cells": per_cell_sl}
+    if _observatory.enabled():
+        parent = _observatory.current()
+        assert parent is not None
+        sweep["observatory"] = {
+            "window_cycles": parent.config.window_cycles,
+            "cells": [{"runner": cell["runner"], "args": cell["args"],
+                       "windows": len(cell.get("windows", [])),
+                       "events": len(cell.get("events", []))}
+                      for cell in parent.cells],
+        }
     return sweep

@@ -78,6 +78,45 @@ def extract_series(bench: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
                     "direction": direction,
                 }
         return series
+    if bench.get("schema") == "crossover-observatory/v1":
+        summary = bench.get("summary", {})
+        for name, direction in (("windows", "higher"),
+                                ("events", "higher"),
+                                ("cells", "higher")):
+            value = summary.get(name)
+            if isinstance(value, (int, float)):
+                series[f"observatory.{name}"] = {
+                    "value": value,
+                    "samples": [value],
+                    "direction": direction,
+                }
+        alerts = bench.get("slo", {}).get("alerts_fired")
+        if isinstance(alerts, (int, float)):
+            series["observatory.slo.alerts_fired"] = {
+                "value": alerts,
+                "samples": [alerts],
+                "direction": "lower",
+            }
+        # The dashboard headline: worst per-window world-call p99
+        # across every cell — the time-resolved tail the paper's flat
+        # tables can't see.
+        worst_p99 = None
+        for cell in bench.get("cells", []):
+            for window in cell.get("windows", []):
+                for key, hist in window.get("histograms", {}).items():
+                    if key.split("{", 1)[0] != "world_call.cycles":
+                        continue
+                    p99 = hist.get("p99")
+                    if p99 is not None and (worst_p99 is None
+                                            or p99 > worst_p99):
+                        worst_p99 = p99
+        if worst_p99 is not None:
+            series["observatory.world_call.p99_worst"] = {
+                "value": worst_p99,
+                "samples": [worst_p99],
+                "direction": "lower",
+            }
+        return series
     for run_name, run in sorted(bench.get("runs", {}).items()):
         if not isinstance(run, dict) or "wall_seconds" not in run:
             continue

@@ -89,6 +89,9 @@ class FlightRecorder:
         self._records: Deque[Dict[str, Any]] = deque()
         self._seq = 0
         self._dropped = 0
+        #: Records whose decision was ``"deny"`` — the online anomaly
+        #: signal the observatory samples (full detectors stay offline).
+        self.denials = 0
         self._genesis = _chain.genesis(self.config.algo)
         self._prev_hash = self._genesis
         # Imported here, not at module top: repro.audit must stay a
@@ -132,7 +135,18 @@ class FlightRecorder:
         if len(self._records) > self.config.capacity:
             self._records.popleft()
             self._dropped += 1
+        if decision == "deny":
+            self.denials += 1
+            from repro import observatory as _observatory
+            obs = _observatory._session
+            if obs is not None:
+                obs.on_audit_anomaly(f"{fam}.{kind}", detail or frm)
         return record
+
+    def stats(self) -> Dict[str, int]:
+        """Monotonic counters for the observatory's windowed sampling."""
+        return {"records": self._seq, "dropped": self._dropped,
+                "denials": self.denials}
 
     # ------------------------------------------------------------------
     # hookpoints (hw layer)

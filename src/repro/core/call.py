@@ -31,6 +31,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro import audit as _audit
 from repro import faults as _faults
 from repro import jit as _jit
+from repro import observatory as _observatory
 from repro import switchless as _switchless
 from repro import telemetry
 from repro.core import convention, fastpath
@@ -120,6 +121,9 @@ class WorldCallRuntime:
         recorder = _audit._recorder
         if recorder is not None:
             recorder.on_recovery(policy)
+        obs = _observatory._session
+        if obs is not None:
+            obs.on_recovery(policy)
 
     # ------------------------------------------------------------------
     # setup (one-time, Section 3.3 "World-call setup")
@@ -234,12 +238,19 @@ class WorldCallRuntime:
         # cycles + wall-clock); collection only reads the counters, so
         # the modeled numbers are identical to the bare path.
         session.on_world_call(caller.wid, callee_wid)
+        cycles_before = self.machine.cpu.perf.cycles
         with session.tracer.span("world_call", category="core",
                                  cpu=self.machine.cpu,
                                  caller_wid=caller.wid,
                                  callee_wid=callee_wid):
-            return self._call_guarded(caller, callee_wid, payload,
-                                      authorize=authorize)
+            result = self._call_guarded(caller, callee_wid, payload,
+                                        authorize=authorize)
+        # Latency histogram for the time-resolved view (and the SLO
+        # engine's ``world_call.cycles.p99``): pure counter read, the
+        # modeled numbers are unchanged.
+        session.on_world_call_cycles(
+            self.machine.cpu.perf.cycles - cycles_before)
+        return result
 
     def _call_mechanism(self, mechanism: str, caller: World,
                         callee_wid: int, payload: Any, *,

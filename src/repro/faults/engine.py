@@ -20,6 +20,7 @@ from collections import Counter
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import audit as _audit
+from repro import observatory as _observatory
 from repro import telemetry
 
 from .plan import FaultPlan
@@ -96,6 +97,9 @@ class FaultEngine:
                 # Correlation marker only — detectors ignore fam
                 # "fault" records (see repro.audit.detectors).
                 recorder.on_fault_injected(plan.site)
+            obs = _observatory._session
+            if obs is not None:
+                obs.on_fault(plan.site)
             value = site.action(self, ctx)
             if value is not None:
                 result = value

@@ -13,6 +13,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Mapping
 
+from repro import observatory as _observatory
 from repro.hw.costs import Cost, us
 
 #: Event kinds that count as a *world switch* in the paper's terminology:
@@ -77,18 +78,33 @@ class PerfDelta:
 
 
 class PerfCounters:
-    """Mutable instruction/cycle/event accumulators for one CPU."""
+    """Mutable instruction/cycle/event accumulators for one CPU.
+
+    When an observatory is installed (:mod:`repro.observatory`), each
+    counter carries a next-window threshold: crossing it at a charge
+    routes one sampling boundary to the observatory.  Dormant cost is
+    one class-attribute load and one integer compare per charge — the
+    class-level ``_obs_next`` sentinel can never be crossed.
+    """
+
+    #: No observatory: threshold the cycle accumulator can never reach.
+    _obs = None
+    _obs_next = _observatory._OBS_DISABLED
 
     def __init__(self) -> None:
         self.instructions = 0
         self.cycles = 0
         self.events: Counter = Counter()
+        if _observatory._session is not None:
+            _observatory._session.adopt(self)
 
     def charge(self, kind: str, cost: Cost) -> None:
         """Record one event of ``kind`` costing ``cost``."""
         self.instructions += cost.instructions
         self.cycles += cost.cycles
         self.events[kind] += 1
+        if self.cycles >= self._obs_next:
+            _observatory._boundary(self)
 
     def charge_batch(self, cost: Cost, events: Mapping[str, int]) -> None:
         """Apply a pre-summed cost plus its per-event counts in one call.
@@ -104,6 +120,8 @@ class PerfCounters:
         counters = self.events
         for kind, count in events.items():
             counters[kind] += count
+        if self.cycles >= self._obs_next:
+            _observatory._boundary(self)
 
     def snapshot(self) -> PerfSnapshot:
         """Copy the current counter values."""
@@ -115,6 +133,17 @@ class PerfCounters:
 
     def reset(self) -> None:
         """Zero every counter (used between benchmark iterations)."""
+        session = _observatory._session
+        if session is not None and self._obs is session:
+            # Close out the un-sampled tail before the cycle domain
+            # restarts at zero (a stale anchor would mis-size the next
+            # window delta).
+            session.on_boundary(self)
         self.instructions = 0
         self.cycles = 0
         self.events.clear()
+        if session is not None:
+            session.adopt(self)
+        elif self._obs is not None:
+            self._obs = None
+            self._obs_next = _observatory._OBS_DISABLED

@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro import audit as _audit
 from repro import faults as _faults
+from repro import observatory as _observatory
 from repro import telemetry as _telemetry
 from repro.core import fastpath
 from repro.hw import mem as _hwmem
@@ -166,13 +167,23 @@ class JitEngine:
         if len(blocks) > self.capacity:
             blocks.popitem(last=False)
             stats.invalidations += 1
+        obs = _observatory._session
+        if obs is not None:
+            # Cold path only (a compile): never taxes the hit path.
+            obs.on_jit_event("compile", "/".join(str(k) for k in key),
+                             cpu.perf.cycles)
         return block
 
     def invalidate_all(self) -> None:
         """Drop every compiled block (counted as invalidations)."""
-        self.stats.invalidations += len(self._blocks)
+        dropped = len(self._blocks)
+        self.stats.invalidations += dropped
         self._blocks.clear()
         self._heat.clear()
+        if dropped:
+            obs = _observatory._session
+            if obs is not None:
+                obs.on_jit_event("invalidate", f"{dropped} blocks")
 
     def block_count(self) -> int:
         return len(self._blocks)

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro import observatory as _observatory
 from repro.errors import (
     AuthorizationDenied,
     ConfigurationError,
@@ -199,6 +200,10 @@ class SwitchlessEngine:
         mechanism = self.policy.decide((kind, caller_id, callee_id), cycles)
         if len(self.policy.flips) != before:
             self._on_flip(self.policy.flips[-1][1])
+            obs = _observatory._session
+            if obs is not None:
+                site, to_mechanism, at_cycles = self.policy.flips[-1]
+                obs.on_flip(site, to_mechanism, at_cycles)
         if mode == "observe":
             return None
         return "switchless" if mechanism == "switchless" else None

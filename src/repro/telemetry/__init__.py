@@ -168,6 +168,7 @@ class TelemetrySession:
         self._crossvm_counters: Dict[tuple, Callable] = {}
         self._virq_counters: Dict[tuple, Callable] = {}
         self._worldcall_counters: Dict[tuple, Callable] = {}
+        self._worldcall_hist: Optional[Callable] = None
         self._redirect_counters: Dict[tuple, Callable] = {}
         self._redirect_hists: Dict[tuple, Callable] = {}
         self._fault_counters: Dict[str, Callable] = {}
@@ -223,6 +224,16 @@ class TelemetrySession:
                 "core.world_calls", caller_wid=caller_wid,
                 callee_wid=callee_wid).inc
         inc()
+
+    def on_world_call_cycles(self, cycles: int) -> None:
+        """One completed world call cost ``cycles`` modeled cycles
+        end-to-end — the ``world_call.cycles`` latency histogram the
+        observatory's SLO engine reads per window."""
+        observe = self._worldcall_hist
+        if observe is None:
+            observe = self._worldcall_hist = self.metrics.histogram(
+                "world_call.cycles").observe
+        observe(cycles)
 
     def on_crossvm_roundtrip(self, frm: str, to: str) -> None:
         """A Figure-4 cross-VM round trip started."""

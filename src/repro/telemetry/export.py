@@ -24,6 +24,7 @@ import os
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.telemetry import TelemetrySession
+from repro.telemetry.registry import _parse_series
 from repro.telemetry.spans import Span
 
 #: ``pid`` used for spans recorded in the session's own process.
@@ -143,6 +144,106 @@ def metrics_snapshot(session: TelemetrySession) -> Dict[str, Any]:
         "gauges": snap["gauges"],
         "histograms": snap["histograms"],
     }
+
+
+def _openmetrics_name(name: str) -> str:
+    """Sanitize a family name to the OpenMetrics charset
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and other separators become
+    underscores."""
+    sanitized = "".join(c if c.isalnum() or c in "_:" else "_"
+                        for c in name)
+    if not sanitized or sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _openmetrics_escape(value: str) -> str:
+    """Label-value escaping per the OpenMetrics text format."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _openmetrics_value(value: Any) -> str:
+    """Render a sample value (ints stay integral, floats use repr)."""
+    if isinstance(value, bool):  # pragma: no cover - no bool metrics
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _openmetrics_labels(labels, extra: Optional[Tuple[str, str]] = None
+                        ) -> str:
+    """``{k="v",...}`` with keys in deterministic sorted order (the
+    label key is already canonically sorted; an ``extra`` pair such as
+    ``le`` is appended last, Prometheus-style)."""
+    items = [(k, v) for k, v in labels]
+    if extra is not None:
+        items.append(extra)
+    if not items:
+        return ""
+    inner = ",".join(
+        f'{_openmetrics_name(k)}="{_openmetrics_escape(str(v))}"'
+        for k, v in items)
+    return "{" + inner + "}"
+
+
+def render_openmetrics(snapshot: Dict[str, Any]) -> str:
+    """Render a metrics snapshot as OpenMetrics/Prometheus text.
+
+    ``snapshot`` is any mapping with ``counters`` / ``gauges`` /
+    ``histograms`` keys in the registry's snapshot shape (both
+    :meth:`~repro.telemetry.registry.MetricsRegistry.snapshot` and
+    :func:`metrics_snapshot` qualify) — this function is standalone on
+    purpose so scrape endpoints and the observatory exporter can share
+    it without a live session.  Families are emitted in sorted order
+    with one ``# TYPE`` line each; counters get the conventional
+    ``_total`` suffix; histograms expose cumulative ``_bucket{le=...}``
+    series plus ``_sum`` / ``_count``; the text ends with ``# EOF``.
+    """
+    lines: List[str] = []
+
+    def group(entries):
+        families: Dict[str, List[Tuple[Any, Any]]] = {}
+        for rendered in sorted(entries):
+            name, labels = _parse_series(rendered)
+            families.setdefault(name, []).append(
+                (labels, entries[rendered]))
+        return sorted(families.items())
+
+    for name, series in group(snapshot.get("counters", {})):
+        metric = _openmetrics_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        for labels, value in series:
+            lines.append(f"{metric}_total{_openmetrics_labels(labels)} "
+                         f"{_openmetrics_value(value)}")
+    for name, series in group(snapshot.get("gauges", {})):
+        metric = _openmetrics_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        for labels, value in series:
+            lines.append(f"{metric}{_openmetrics_labels(labels)} "
+                         f"{_openmetrics_value(value)}")
+    for name, series in group(snapshot.get("histograms", {})):
+        metric = _openmetrics_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        for labels, data in series:
+            cumulative = 0
+            for bound, count in data["buckets"]:
+                cumulative += count
+                le = _openmetrics_labels(
+                    labels, ("le", _openmetrics_value(float(bound))))
+                lines.append(f"{metric}_bucket{le} {cumulative}")
+            inf = _openmetrics_labels(labels, ("le", "+Inf"))
+            lines.append(f"{metric}_bucket{inf} {data['count']}")
+            rendered = _openmetrics_labels(labels)
+            total = data.get("sum", data.get("total", 0))
+            lines.append(f"{metric}_sum{rendered} "
+                         f"{_openmetrics_value(total)}")
+            lines.append(f"{metric}_count{rendered} {data['count']}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
 
 
 def metrics_digest(session: TelemetrySession, top: int = 12

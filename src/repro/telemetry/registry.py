@@ -41,6 +41,42 @@ def series_name(name: str, labels: LabelKey) -> str:
     return f"{name}{{{inner}}}"
 
 
+def bucket_percentile(bounds: Tuple[float, ...], bucket_counts,
+                      count: int, p: float,
+                      max_value: Optional[float] = None
+                      ) -> Optional[float]:
+    """Interpolated percentile over fixed-bucket counts.
+
+    ``bucket_counts`` has ``len(bounds) + 1`` entries, the last being
+    the overflow bucket.  The rank's bucket is located by cumulative
+    count and the value interpolates linearly between the bucket's
+    lower and upper bounds (the first bucket's lower bound is 0).
+    Ranks landing in the overflow bucket report ``max_value`` (the
+    observed maximum) when known, else the last finite bound as a
+    conservative floor.  Pure function of the counts, so two registries
+    merged in any order agree with a single registry that saw every
+    observation — the merge-determinism rule the parallel runner
+    relies on.  Returns None while ``count`` is zero.
+    """
+    if count <= 0:
+        return None
+    rank = max(1, int(p / 100.0 * count + 0.999999))
+    cumulative = 0
+    for i, n in enumerate(bucket_counts):
+        if n and cumulative + n >= rank:
+            if i >= len(bounds):
+                if max_value is not None:
+                    return max_value
+                return float(bounds[-1]) if bounds else None
+            lo = float(bounds[i - 1]) if i else 0.0
+            hi = float(bounds[i])
+            return lo + (rank - cumulative) / n * (hi - lo)
+        cumulative += n
+    if max_value is not None:  # pragma: no cover - rank <= count
+        return max_value
+    return float(bounds[-1]) if bounds else None  # pragma: no cover
+
+
 class Counter:
     """A monotonically increasing integer."""
 
@@ -76,10 +112,12 @@ class Histogram:
     """A fixed-bucket histogram with percentile estimation.
 
     ``buckets`` are inclusive upper bounds; one implicit overflow bucket
-    catches everything above the last bound.  Percentiles are resolved
-    to the upper bound of the bucket holding the requested rank (the
-    overflow bucket reports the observed maximum), which is exact
-    enough for dashboard-style p50/p90/p99 over modeled cycles.
+    catches everything above the last bound.  Percentiles interpolate
+    linearly within the bucket holding the requested rank (see
+    :func:`bucket_percentile`; the overflow bucket reports the observed
+    maximum), which is exact enough for dashboard-style p50/p90/p99
+    over modeled cycles while staying a pure function of the bucket
+    counts — merge order cannot change a percentile.
     """
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
@@ -109,19 +147,10 @@ class Histogram:
             self.max = value
 
     def percentile(self, p: float) -> Optional[float]:
-        """The upper bound of the bucket holding the ``p``-th percentile
+        """The linearly interpolated ``p``-th percentile
         (0 < p <= 100), or None while empty."""
-        if self.count == 0:
-            return None
-        rank = max(1, int(p / 100.0 * self.count + 0.999999))
-        cumulative = 0
-        for i, n in enumerate(self.bucket_counts):
-            cumulative += n
-            if cumulative >= rank:
-                if i < len(self.buckets):
-                    return self.buckets[i]
-                return self.max
-        return self.max  # pragma: no cover - rank <= count always hits
+        return bucket_percentile(self.buckets, self.bucket_counts,
+                                 self.count, p, self.max)
 
     @property
     def mean(self) -> Optional[float]:
@@ -203,12 +232,14 @@ class MetricsRegistry:
                     out["histograms"][rendered] = {
                         "count": series.count,
                         "total": series.total,
+                        "sum": series.total,
                         "min": series.min,
                         "max": series.max,
                         "mean": series.mean,
                         "p50": series.percentile(50),
                         "p90": series.percentile(90),
                         "p99": series.percentile(99),
+                        "p999": series.percentile(99.9),
                         "buckets": [[b, c] for b, c in
                                     zip(series.buckets,
                                         series.bucket_counts)],
@@ -231,8 +262,9 @@ class MetricsRegistry:
         ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
         histograms = {
             rendered: {field: data[field]
-                       for field in ("count", "total", "min", "max",
-                                     "mean", "p50", "p90", "p99")}
+                       for field in ("count", "total", "sum", "min",
+                                     "max", "mean", "p50", "p90", "p99",
+                                     "p999")}
             for rendered, data in snap["histograms"].items()}
         return {
             "counter_series": len(counters),
@@ -259,11 +291,18 @@ class MetricsRegistry:
         for rendered, data in snap.get("histograms", {}).items():
             name, labels = _parse_series(rendered)
             bounds = tuple(b for b, _ in data["buckets"])
+            if not bounds:
+                raise ValueError(
+                    f"histogram {rendered!r} snapshot carries no "
+                    "buckets; refusing to merge a corrupt payload")
             hist = self._series("histogram", name, dict(labels),
                                 buckets=bounds)
             if hist.buckets != bounds:
                 raise ValueError(
-                    f"histogram {rendered!r} bucket mismatch on merge")
+                    f"histogram {rendered!r} bucket mismatch on merge: "
+                    f"registry has {len(hist.buckets)} bounds, snapshot "
+                    f"has {len(bounds)}; refusing to merge mismatched "
+                    "ladders (counts would land in the wrong buckets)")
             for i, (_, count) in enumerate(data["buckets"]):
                 hist.bucket_counts[i] += count
             hist.bucket_counts[-1] += data["overflow"]

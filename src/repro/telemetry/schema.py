@@ -16,6 +16,7 @@ Usage::
     python -m repro.telemetry.schema faults FAULTS_PR4.json
     python -m repro.telemetry.schema audit AUDIT.json
     python -m repro.telemetry.schema switchless SWITCHLESS.json
+    python -m repro.telemetry.schema observatory OBSERVATORY.json
 """
 
 from __future__ import annotations

@@ -37,6 +37,26 @@ class TestExtractSeries:
         assert series["speedup_best"]["direction"] == "higher"
         assert series["overhead_enabled_percent"]["direction"] == "lower"
 
+    def test_observatory_artifact_extracts(self):
+        artifact = {
+            "schema": "crossover-observatory/v1",
+            "summary": {"windows": 9, "events": 4, "cells": 5,
+                        "crosscheck_ok": True, "alerts_fired": 0},
+            "slo": {"alerts_fired": 2, "objectives": [], "violated": []},
+            "cells": [{"windows": [
+                {"histograms": {"world_call.cycles": {
+                    "count": 3, "sum": 900, "p99": 450.0}}},
+                {"histograms": {"world_call.cycles": {
+                    "count": 1, "sum": 700, "p99": 700.0}}},
+            ]}],
+        }
+        series = trajectory.extract_series(artifact)
+        assert series["observatory.windows"]["value"] == 9
+        assert series["observatory.windows"]["direction"] == "higher"
+        assert series["observatory.slo.alerts_fired"] == {
+            "value": 2, "samples": [2], "direction": "lower"}
+        assert series["observatory.world_call.p99_worst"]["value"] == 700.0
+
     def test_checked_in_artifacts_extract(self):
         for name in ("BENCH_PR1.json", "BENCH_PR2.json"):
             with open(name) as fh:

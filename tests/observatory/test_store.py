@@ -1,0 +1,126 @@
+"""Unit tests for the window store and the conservation crosscheck."""
+
+import pytest
+
+from repro.observatory.store import WindowStore, crosscheck
+
+
+def _hist_delta(bounds, counts, total, overflow=0):
+    return {"bounds": list(bounds), "counts": list(counts),
+            "count": sum(counts) + overflow, "sum": total,
+            "overflow": overflow}
+
+
+class TestWindowStore:
+    def test_rejects_nonpositive_config(self):
+        with pytest.raises(ValueError):
+            WindowStore(0)
+        with pytest.raises(ValueError):
+            WindowStore(100, max_windows=0)
+
+    def test_counter_deltas_accumulate_per_window(self):
+        store = WindowStore(100)
+        store.record(0, 60, {"calls": 2}, {}, {}, {})
+        store.record(0, 40, {"calls": 3}, {}, {}, {})
+        store.record(2, 100, {"calls": 5}, {}, {}, {})
+        windows = store.to_windows()
+        assert [w["index"] for w in windows] == [0, 2]
+        assert windows[0]["counters"]["calls"] == 5
+        assert windows[0]["cycles"] == 100
+        assert windows[0]["start_cycles"] == 0
+        assert windows[1]["counters"]["calls"] == 5
+        assert windows[1]["start_cycles"] == 200
+
+    def test_gauges_last_write_wins_within_window(self):
+        store = WindowStore(100)
+        store.record(0, 50, {}, {"depth": 4}, {}, {})
+        store.record(0, 50, {}, {"depth": 2}, {}, {})
+        assert store.to_windows()[0]["gauges"]["depth"] == 2
+
+    def test_histogram_deltas_merge_and_derive_percentiles(self):
+        store = WindowStore(100)
+        store.record(0, 50, {}, {},
+                     {"lat": _hist_delta((10, 100), (2, 0), 10)}, {})
+        store.record(0, 50, {}, {},
+                     {"lat": _hist_delta((10, 100), (0, 2), 100)}, {})
+        hist = store.to_windows()[0]["histograms"]["lat"]
+        assert hist["count"] == 4
+        assert hist["sum"] == 110
+        assert hist["mean"] == pytest.approx(27.5)
+        # rank 2 of 4 closes the (0, 10] bucket.
+        assert hist["p50"] == pytest.approx(10.0)
+        assert hist["p99"] == pytest.approx(100.0)
+
+    def test_histogram_ladder_change_mid_window_raises(self):
+        store = WindowStore(100)
+        store.record(0, 50, {}, {},
+                     {"lat": _hist_delta((10,), (1,), 5)}, {})
+        with pytest.raises(ValueError):
+            store.record(0, 50, {}, {},
+                         {"lat": _hist_delta((10, 100), (1, 0), 5)}, {})
+
+    def test_subsystem_deltas_are_separate_namespace(self):
+        # A registry counter and a subsystem stat may share a name;
+        # they must never merge (the crosscheck only covers counters).
+        store = WindowStore(100)
+        store.record(0, 50, {"switchless.calls{kind=world}": 3}, {}, {},
+                     {"switchless.calls": 4})
+        window = store.to_windows()[0]
+        assert window["counters"] == {"switchless.calls{kind=world}": 3}
+        assert window["subsystems"] == {"switchless.calls": 4}
+
+    def test_events_pin_to_windows(self):
+        store = WindowStore(100_000)
+        store.add_event("switchless.flip", "world:1:2", "switchless",
+                        1_015_436)
+        store.add_event("fault.injected", "wtc_flush", "", 5)
+        events = store.to_events()
+        assert events[0]["window"] == 10
+        assert events[1]["window"] == 0
+
+    def test_max_windows_clips_into_newest(self):
+        store = WindowStore(100, max_windows=2)
+        store.record(0, 100, {"c": 1}, {}, {}, {})
+        store.record(1, 100, {"c": 1}, {}, {}, {})
+        store.record(5, 100, {"c": 1}, {}, {}, {})
+        assert store.clipped == 1
+        windows = store.to_windows()
+        assert [w["index"] for w in windows] == [0, 1]
+        # The clipped sample folded into the newest retained window, so
+        # counter conservation still holds.
+        assert sum(w["counters"]["c"] for w in windows) == 3
+
+
+class TestCrosscheck:
+    def _payload(self, deltas, baseline, totals):
+        return {
+            "baseline": baseline,
+            "totals": totals,
+            "windows": [{"counters": d} for d in deltas],
+        }
+
+    def test_ok_when_deltas_sum_to_totals(self):
+        result = crosscheck(self._payload(
+            [{"calls": 2}, {"calls": 3}], {}, {"calls": 5}))
+        assert result["ok"]
+        assert result["mismatches"] == []
+
+    def test_baseline_offsets_are_respected(self):
+        result = crosscheck(self._payload(
+            [{"calls": 3}], {"calls": 10}, {"calls": 13}))
+        assert result["ok"]
+
+    def test_mismatch_reports_counter_and_values(self):
+        result = crosscheck(self._payload(
+            [{"calls": 2}], {}, {"calls": 5}))
+        assert not result["ok"]
+        assert result["mismatches"] == [
+            {"counter": "calls", "windows_sum": 2, "flat": 5}]
+
+    def test_counter_missing_from_windows_is_a_mismatch(self):
+        result = crosscheck(self._payload([], {}, {"calls": 1}))
+        assert not result["ok"]
+
+    def test_counter_invented_by_windows_is_a_mismatch(self):
+        result = crosscheck(self._payload([{"ghost": 1}], {}, {}))
+        assert not result["ok"]

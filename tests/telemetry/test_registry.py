@@ -41,16 +41,42 @@ class TestSeries:
 
 
 class TestHistogram:
-    def test_percentiles_resolve_to_bucket_bounds(self):
+    def test_percentiles_interpolate_within_bucket(self):
         reg = MetricsRegistry()
         hist = reg.histogram("lat", buckets=(10, 100, 1000))
         for v in (5, 5, 50, 50, 50, 500):
             hist.observe(v)
         assert hist.count == 6
-        assert hist.percentile(50) == 100      # rank 3 -> 100-bucket
-        assert hist.percentile(99) == 1000
+        # rank 3 of 6 lands in the (10, 100] bucket holding 3
+        # observations: 10 + 1/3 * 90 = 40 (linear interpolation, not
+        # the bucket's upper bound).
+        assert hist.percentile(50) == pytest.approx(40.0)
+        # rank 6 is alone in (100, 1000]: interpolates to the top.
+        assert hist.percentile(99) == pytest.approx(1000.0)
         assert hist.min == 5 and hist.max == 500
         assert hist.mean == pytest.approx(660 / 6)
+
+    def test_percentile_monotone_in_p(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(10, 100, 1000))
+        for v in (5, 5, 50, 50, 50, 500):
+            hist.observe(v)
+        values = [hist.percentile(p)
+                  for p in (1, 25, 50, 75, 90, 99, 99.9)]
+        assert values == sorted(values)
+
+    def test_snapshot_exposes_sum_and_p999(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(10, 100))
+        for v in (5, 50, 50):
+            hist.observe(v)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["sum"] == 105
+        assert snap["sum"] == snap["total"]
+        assert snap["p999"] == hist.percentile(99.9)
+        digest = reg.digest()["histograms"]["lat"]
+        assert digest["sum"] == 105
+        assert "p999" in digest
 
     def test_overflow_bucket_reports_observed_max(self):
         reg = MetricsRegistry()
@@ -105,3 +131,50 @@ class TestSnapshot:
         reg2.histogram("h", buckets=(5, 6)).observe(5)
         with pytest.raises(ValueError):
             reg1.merge_snapshot(reg2.snapshot())
+
+    def test_merge_empty_snapshot_is_noop(self):
+        reg = MetricsRegistry()
+        self._populate(reg)
+        before = reg.snapshot()
+        reg.merge_snapshot({})
+        reg.merge_snapshot({"counters": {}, "gauges": {},
+                            "histograms": {}})
+        assert reg.snapshot() == before
+
+    def test_merge_gauge_last_write_wins_across_worker_order(self):
+        # The parallel runner absorbs per-worker snapshots in spec
+        # order; a gauge must end at the *last* worker's value no
+        # matter what it held before.
+        workers = []
+        for value in (3.0, 7.0, 5.0):
+            reg = MetricsRegistry()
+            reg.gauge("depth").set(value)
+            workers.append(reg.snapshot())
+        parent = MetricsRegistry()
+        for snap in workers:
+            parent.merge_snapshot(snap)
+        assert parent.gauge("depth").value == 5.0
+        parent2 = MetricsRegistry()
+        for snap in reversed(workers):
+            parent2.merge_snapshot(snap)
+        assert parent2.gauge("depth").value == 3.0
+
+    def test_merge_bucket_count_mismatch_message_is_clear(self):
+        reg1, reg2 = MetricsRegistry(), MetricsRegistry()
+        reg1.histogram("h", buckets=(1, 2, 3)).observe(1)
+        reg2.histogram("h", buckets=(1, 2)).observe(1)
+        with pytest.raises(ValueError) as exc:
+            reg1.merge_snapshot(reg2.snapshot())
+        message = str(exc.value)
+        assert "bucket mismatch" in message
+        assert "3 bounds" in message and "2" in message
+
+    def test_merge_rejects_bucketless_histogram_payload(self):
+        reg = MetricsRegistry()
+        corrupt = {"histograms": {"h": {
+            "count": 1, "total": 5, "sum": 5, "min": 5, "max": 5,
+            "mean": 5.0, "p50": 5, "p90": 5, "p99": 5, "p999": 5,
+            "buckets": [], "overflow": 1}}}
+        with pytest.raises(ValueError) as exc:
+            reg.merge_snapshot(corrupt)
+        assert "no buckets" in str(exc.value)

@@ -269,3 +269,60 @@ class TestSwitchlessSurface:
         from repro.core.call import WorldCallRuntime
         signature = inspect.signature(WorldCallRuntime.call)
         assert "mechanism" in signature.parameters
+
+
+class TestObservatorySurface:
+    """The observatory's public surface and its off-by-default
+    discipline (PR 8)."""
+
+    def test_exports_resolve(self):
+        from repro import observatory
+        for name in observatory.__all__:
+            assert getattr(observatory, name) is not None
+
+    def test_disabled_by_default_on_clean_import(self):
+        from repro import observatory
+        assert observatory._session is None
+        assert not observatory.enabled()
+        assert observatory.current() is None
+
+    def test_dormant_perf_counters_carry_the_sentinel(self):
+        from repro import observatory
+        from repro.hw.perf import PerfCounters
+        perf = PerfCounters()
+        assert perf._obs is None
+        assert perf._obs_next == observatory._OBS_DISABLED
+
+    def test_scoped_restores_previous_observatory(self):
+        from repro import observatory
+        with observatory.scoped() as outer:
+            with observatory.scoped() as inner:
+                assert observatory.current() is inner
+            assert observatory.current() is outer
+        assert observatory.current() is None
+
+    def test_observatory_core_modules_are_leaves(self):
+        """hw.perf, the subsystem engines and core.call import
+        repro.observatory at module top; the store and SLO modules must
+        never import the machine stack — or any subsystem that imports
+        the observatory — at module top, or the cycle would bite."""
+        import ast
+        import os
+        from repro import observatory
+        banned = ("repro.hw", "repro.core", "repro.hypervisor",
+                  "repro.machine", "repro.systems", "repro.telemetry",
+                  "repro.analysis", "repro.workloads", "repro.jit",
+                  "repro.switchless", "repro.faults", "repro.audit")
+        package_dir = os.path.dirname(observatory.__file__)
+        for filename in ("__init__.py", "store.py", "slo.py"):
+            with open(os.path.join(package_dir, filename)) as fh:
+                tree = ast.parse(fh.read())
+            for node in tree.body:      # top level only
+                names = []
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    names = [node.module]
+                for name in names:
+                    assert not name.startswith(banned), \
+                        f"{filename} imports {name} at module top"

@@ -84,6 +84,11 @@ def _execute_cell(spec: CellSpec) -> CellResult:
     # worker count.
     def _invoke() -> Any:
         nonlocal cell_observatory
+        if runner not in experiments.CELL_RUNNERS and \
+                runner.startswith("fleet"):
+            # Fleet cells register lazily (the fleet package is not on
+            # the default import path of the experiment tables).
+            import repro.fleet.campaign  # noqa: F401  (registers)
         parent_obs = _observatory.current()
         if parent_obs is None:
             return experiments.CELL_RUNNERS[runner](*args)

@@ -117,6 +117,60 @@ def extract_series(bench: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
                 "direction": "lower",
             }
         return series
+    if bench.get("schema") == "crossover-fleet/v1":
+        counts = bench.get("tenant_counts", [])
+        if counts:
+            series["fleet.tenants"] = {
+                "value": max(counts),
+                "samples": [max(counts)],
+                "direction": "higher",
+            }
+        # Peak sustained throughput and worst tail per transport — the
+        # fleet's headline: world_call/switchless throughput must not
+        # fall back toward the serialized baseline.
+        for mechanism, points in sorted(bench.get("curves", {}).items()):
+            peaks = [p.get("throughput_rps") for p in points
+                     if isinstance(p.get("throughput_rps"), (int, float))]
+            if peaks:
+                series[f"fleet.{mechanism}.throughput_peak"] = {
+                    "value": max(peaks),
+                    "samples": [max(peaks)],
+                    "direction": "higher",
+                }
+            tails = [p.get("p99") for p in points
+                     if isinstance(p.get("p99"), (int, float))]
+            if tails:
+                series[f"fleet.{mechanism}.p99_worst"] = {
+                    "value": max(tails),
+                    "samples": [max(tails)],
+                    "direction": "lower",
+                }
+        all_points = [p for points in bench.get("curves", {}).values()
+                      for p in points]
+        peaks = [p.get("throughput_rps") for p in all_points
+                 if isinstance(p.get("throughput_rps"), (int, float))]
+        if peaks:
+            series["fleet.throughput_peak"] = {
+                "value": max(peaks),
+                "samples": [max(peaks)],
+                "direction": "higher",
+            }
+        tails = [p.get("p99") for p in all_points
+                 if isinstance(p.get("p99"), (int, float))]
+        if tails:
+            series["fleet.p99_worst"] = {
+                "value": max(tails),
+                "samples": [max(tails)],
+                "direction": "lower",
+            }
+        events = sum(p.get("sched_events", 0) for p in all_points)
+        if events:
+            series["fleet.sched_events"] = {
+                "value": events,
+                "samples": [events],
+                "direction": "higher",
+            }
+        return series
     for run_name, run in sorted(bench.get("runs", {}).items()):
         if not isinstance(run, dict) or "wall_seconds" not in run:
             continue

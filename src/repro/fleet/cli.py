@@ -1,0 +1,150 @@
+"""``crossover-fleet`` — run the sharded multi-tenant fleet campaign.
+
+Sweeps tenant count x mechanism (baseline / world_call / switchless)
+over the sharded fleet from :mod:`repro.fleet.campaign`, prints the
+throughput/p99 curves, optionally writes the schema-validated
+``crossover-fleet/v1`` artifact, and can gate the top-count cells'
+windows through the observatory SLO burn-rate evaluator::
+
+    crossover-fleet                              # default 10/100/1000 sweep
+    crossover-fleet --tenants 10,50,100 --rate-scale 8 --horizon-ms 5
+    crossover-fleet --out FLEET.json --workers 4
+    crossover-fleet --strict --slo 'fleet.latency.cycles.p99 < 2000000'
+
+Exit status: ``0`` all claims hold, the artifact passes its schema and
+no ``--strict`` SLO is violated; ``1`` a claim failed (baseline not
+slower at the top tenant count, an interleave mismatch), the artifact
+fails its schema, or a ``--strict`` SLO burned; ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.fleet import campaign as _campaign
+
+
+def _parse_counts(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crossover-fleet",
+        description="Deterministic sharded fleet campaign: tenant-count x "
+                    "mechanism sweep with throughput and latency curves.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="traffic/plan seed (default: %(default)s)")
+    parser.add_argument("--tenants", default=None, metavar="N,N,...",
+                        help="comma-separated tenant counts to sweep "
+                             "(default: 10,100,1000)")
+    parser.add_argument("--horizon-ms", type=float, default=None,
+                        metavar="MS",
+                        help="modeled replay horizon per cell in modeled "
+                             "milliseconds (default: 10)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel pool workers (default: one per CPU; "
+                             "the artifact is identical at any count)")
+    parser.add_argument("--churn-every", type=int, default=None, metavar="N",
+                        help="revoke + recreate one callee world every N "
+                             "completed requests (0 disables; default: 500)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="modeled core-pool width (default: 16)")
+    parser.add_argument("--rate-scale", type=float, default=1.0,
+                        help="multiply every tenant's request rate "
+                             "(default: %(default)s)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the crossover-fleet/v1 artifact here")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="EXPR",
+                        help="SLO objective ('<series>.<stat> <op> <value>') "
+                             "evaluated over each top-count cell's windows; "
+                             "repeatable")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any --slo objective is "
+                             "violated")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the summary printout")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        counts = (_parse_counts(args.tenants) if args.tenants
+                  else list(_campaign.TENANT_SWEEP))
+    except ValueError:
+        print(f"crossover-fleet: bad --tenants {args.tenants!r}",
+              file=sys.stderr)
+        return 2
+    if not counts or min(counts) < 1:
+        print("crossover-fleet: tenant counts must be positive",
+              file=sys.stderr)
+        return 2
+    horizon_ms = (args.horizon_ms if args.horizon_ms is not None
+                  else _campaign.DEFAULT_HORIZON_MS)
+    if horizon_ms <= 0:
+        print("crossover-fleet: --horizon-ms must be positive",
+              file=sys.stderr)
+        return 2
+    churn = (args.churn_every if args.churn_every is not None
+             else _campaign.DEFAULT_CHURN_EVERY)
+    if churn < 0 or (args.cores is not None and args.cores < 1) \
+            or args.rate_scale <= 0:
+        print("crossover-fleet: bad --churn-every/--cores/--rate-scale",
+              file=sys.stderr)
+        return 2
+
+    from repro.observatory.slo import SloObjective, evaluate_slos
+    try:
+        objectives = [SloObjective.parse(text) for text in args.slo]
+    except ValueError as error:
+        print(f"crossover-fleet: {error}", file=sys.stderr)
+        return 2
+
+    from repro.fleet.scheduler import DEFAULT_CORES
+    artifact = _campaign.run_campaign(
+        seed=args.seed, tenant_counts=counts, horizon_ms=horizon_ms,
+        workers=args.workers, churn_every=churn,
+        cores=args.cores if args.cores is not None else DEFAULT_CORES,
+        rate_scale=args.rate_scale)
+
+    slo_violated = False
+    if objectives:
+        top = max(counts)
+        slo_report = {}
+        for mechanism in artifact["mechanisms"]:
+            cell = artifact["cells"][f"{mechanism}@{top}"]
+            report = evaluate_slos(objectives, cell["windows"])
+            slo_report[f"{mechanism}@{top}"] = report
+            slo_violated = slo_violated or report["violated"]
+        artifact["slo"] = slo_report
+
+    if not args.quiet:
+        print(_campaign.render_summary(artifact))
+
+    from repro.telemetry.schema import load_schema, validate
+    schema_errors = validate(artifact, load_schema("fleet"))
+    for error in schema_errors:
+        print(f"crossover-fleet: schema violation: {error}",
+              file=sys.stderr)
+
+    if args.out:
+        _campaign.write_artifact(artifact, args.out)
+        if not args.quiet:
+            print(f"wrote {args.out}")
+
+    failed = [name for name, ok in artifact["summary"].items() if not ok]
+    for name in failed:
+        print(f"crossover-fleet: claim failed: {name}", file=sys.stderr)
+    if slo_violated:
+        print("crossover-fleet: SLO violated", file=sys.stderr)
+    if failed or schema_errors:
+        return 1
+    return 1 if (slo_violated and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Seeded open-loop synthetic traffic for the fleet engine.
+
+Each tenant gets an *open-loop* arrival process — requests arrive on a
+seeded clock regardless of whether the fleet can keep up, which is what
+makes saturation (and the baseline's p99 explosion) visible:
+
+* ``poisson`` tenants draw exponential inter-arrival gaps at a fixed
+  mean rate;
+* ``onoff`` tenants alternate seeded ON bursts (4x the mean rate) with
+  silent OFF periods — the bursty shape that exercises the switchless
+  engine's hot/cold worker distinction.
+
+Two request profiles, both taken from workloads the paper partitions:
+
+* ``openssh`` — one scp block (Table 6): ``CALLS_PER_BLOCK`` world
+  calls around ``BLOCK_SIZE * CRYPTO_CYCLES_PER_BYTE`` cycles of
+  symmetric crypto;
+* ``hypershell`` — one cross-VM tool invocation: a single world call
+  plus a short local stage (command marshalling).
+
+Everything is a pure function of ``(spec, seed)``: the generators use
+``random.Random(f"fleet:arrivals:{seed}:{tenant}")`` so the same seed
+replays the identical cycle-stamped arrival stream on any host, any
+pool-worker count, any scheduler interleave.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.hw.costs import CLOCK_HZ
+from repro.workloads.openssh import (
+    BLOCK_SIZE,
+    CALLS_PER_BLOCK,
+    CRYPTO_CYCLES_PER_BYTE,
+)
+
+#: Cycles of local crypto work per replayed scp block (Table 6 shape).
+OPENSSH_CRYPTO_CYCLES = BLOCK_SIZE * CRYPTO_CYCLES_PER_BYTE
+
+#: Cycles of local marshalling per HyperShell tool invocation.
+HYPERSHELL_LOCAL_CYCLES = 2_048
+
+#: Mean request rates (requests/second of modeled time) per profile.
+BASE_RATE_RPS = {"openssh": 400.0, "hypershell": 800.0}
+
+#: ON/OFF tenants burst at this multiple of their mean rate...
+ONOFF_BURST_FACTOR = 4.0
+#: ...for this duty cycle (so the mean rate matches poisson tenants).
+ONOFF_DUTY = 1.0 / ONOFF_BURST_FACTOR
+#: Length of one ON+OFF period in modeled cycles (2 ms at 3.4 GHz).
+ONOFF_PERIOD_CYCLES = 6_800_000
+
+#: Request profiles: the op list one request walks, in order.  A
+#: ``("call",)`` op expands into issue/service/return stages priced by
+#: the calibrated mechanism costs; a ``("local", n)`` op occupies the
+#: core for ``n`` cycles with no hypervisor involvement.
+PROFILES = {
+    # One scp block: time -> crypto -> send -> time (3 calls/block).
+    "openssh": (("call",), ("local", OPENSSH_CRYPTO_CYCLES),
+                ("call",), ("call",)),
+    # One HyperShell tool run: marshal locally, one cross-VM call.
+    "hypershell": (("local", HYPERSHELL_LOCAL_CYCLES), ("call",)),
+}
+
+assert len([op for op in PROFILES["openssh"] if op[0] == "call"]) \
+    == CALLS_PER_BLOCK
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's identity and traffic shape (pure data, picklable)."""
+
+    index: int
+    kind: str            # "openssh" | "hypershell"
+    pattern: str         # "poisson" | "onoff"
+    rate_rps: float      # mean request rate in modeled req/s
+
+    @property
+    def mean_gap_cycles(self) -> float:
+        return CLOCK_HZ / self.rate_rps
+
+
+def tenant_plan(tenants: int, seed: int,
+                rate_scale: float = 1.0) -> List[TenantSpec]:
+    """The deterministic tenant mix for a fleet of ``tenants``.
+
+    Two thirds run the partitioned-OpenSSH profile, one third
+    HyperShell; every fourth tenant is bursty (ON/OFF).  Rates get a
+    seeded +/-25% jitter so tenants don't phase-lock on one clock;
+    ``rate_scale`` multiplies every rate (heavier tenants), letting
+    small sweeps reach the same saturation regime as thousand-tenant
+    fleets.
+    """
+    rng = random.Random(f"fleet:plan:{seed}")
+    plan: List[TenantSpec] = []
+    for index in range(tenants):
+        kind = "hypershell" if index % 3 == 2 else "openssh"
+        pattern = "onoff" if index % 4 == 3 else "poisson"
+        rate = BASE_RATE_RPS[kind] * rate_scale * rng.uniform(0.75, 1.25)
+        plan.append(TenantSpec(index=index, kind=kind, pattern=pattern,
+                               rate_rps=round(rate, 3)))
+    return plan
+
+
+def arrivals(spec: TenantSpec, seed: int,
+             horizon_cycles: int) -> Iterator[int]:
+    """Yield this tenant's arrival times (integer modeled cycles,
+    strictly increasing) up to ``horizon_cycles``."""
+    rng = random.Random(f"fleet:arrivals:{seed}:{spec.index}")
+    if spec.pattern == "poisson":
+        mean_gap = spec.mean_gap_cycles
+        now = 0
+        while True:
+            now += max(1, int(rng.expovariate(1.0) * mean_gap))
+            if now > horizon_cycles:
+                return
+            yield now
+    elif spec.pattern == "onoff":
+        on_cycles = int(ONOFF_PERIOD_CYCLES * ONOFF_DUTY)
+        burst_gap = spec.mean_gap_cycles / ONOFF_BURST_FACTOR
+        # Seeded phase offset so the fleet's bursts don't all align.
+        period_start = -rng.randrange(ONOFF_PERIOD_CYCLES)
+        now = period_start
+        while True:
+            now += max(1, int(rng.expovariate(1.0) * burst_gap))
+            if now - period_start >= on_cycles:
+                # Skip the OFF tail; next period starts fresh.
+                period_start += ONOFF_PERIOD_CYCLES
+                now = period_start
+                continue
+            if now > horizon_cycles:
+                return
+            if now >= 0:
+                yield now
+    else:
+        raise ValueError(f"unknown arrival pattern {spec.pattern!r}")
+
+
+def profile_ops(kind: str) -> Tuple[Tuple, ...]:
+    """The op list one ``kind`` request walks (validated)."""
+    try:
+        return PROFILES[kind]
+    except KeyError:
+        raise ValueError(f"unknown tenant kind {kind!r}; "
+                         f"choose from {sorted(PROFILES)}") from None

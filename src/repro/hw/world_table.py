@@ -70,6 +70,11 @@ class WorldTable:
     held by a malicious caller can never alias a new world.
     """
 
+    #: Flat table: one global epoch.  The fleet's sharded subclass
+    #: flips this so per-WID consumers (the JIT world-call site) know
+    #: to key on :meth:`epoch_of` instead of :attr:`epoch`.
+    sharded = False
+
     def __init__(self) -> None:
         self._by_wid: Dict[int, WorldTableEntry] = {}
         self._by_context: Dict[ContextKey, WorldTableEntry] = {}
@@ -80,9 +85,42 @@ class WorldTable:
         #: :mod:`repro.jit`) key their entries on the epoch so any
         #: table mutation invalidates them wholesale.
         self.epoch = 0
+        #: Live-world count per owner VM, maintained on every mutation
+        #: so the per-VM DoS-quota check stays O(1) with thousands of
+        #: worlds (keys are the owner objects; identity semantics).
+        self._owned: Dict[object, int] = {}
+
+    # -- ownership accounting (O(1) quota checks) ----------------------
+
+    def _own(self, entry: WorldTableEntry) -> None:
+        if entry.owner_vm is not None:
+            self._owned[entry.owner_vm] = \
+                self._owned.get(entry.owner_vm, 0) + 1
+
+    def _disown(self, entry: WorldTableEntry) -> None:
+        if entry.owner_vm is not None:
+            remaining = self._owned.get(entry.owner_vm, 0) - 1
+            if remaining > 0:
+                self._owned[entry.owner_vm] = remaining
+            else:
+                self._owned.pop(entry.owner_vm, None)
 
     def __len__(self) -> int:
         return len(self._by_wid)
+
+    def _allocate_wid(self, owner_vm: Optional[object]) -> int:
+        """Take the next unforgeable WID (monotonic, never reused).
+
+        The sharded table overrides this to draw from the owner's
+        shard-local range instead; either way the allocation is O(1).
+        """
+        wid = self._next_wid
+        self._next_wid += 1
+        return wid
+
+    def _bump_epoch(self, wid: int) -> None:
+        """Account one structural mutation touching ``wid``."""
+        self.epoch += 1
 
     def create(self, *, host_mode: bool, ring: int, ept: Optional[EPT],
                page_table: PageTable, pc: int,
@@ -91,18 +129,21 @@ class WorldTable:
         """Add a world and return its entry (with a fresh, unique WID)."""
         if ring not in (0, 3):
             raise SimulationError(f"unsupported ring level {ring}")
-        entry = WorldTableEntry(
-            wid=self._next_wid, host_mode=host_mode, ring=ring, ept=ept,
-            page_table=page_table, pc=pc, owner_vm=owner_vm, vm_name=vm_name)
-        key = entry.context_key()
+        key: ContextKey = (host_mode, ring,
+                           ept.eptp if ept is not None else 0,
+                           page_table.root)
         if key in self._by_context:
             raise SimulationError(
                 f"a world already exists for context {key!r} "
                 f"(WID {self._by_context[key].wid})")
-        self._next_wid += 1
+        entry = WorldTableEntry(
+            wid=self._allocate_wid(owner_vm), host_mode=host_mode,
+            ring=ring, ept=ept, page_table=page_table, pc=pc,
+            owner_vm=owner_vm, vm_name=vm_name)
         self._by_wid[entry.wid] = entry
         self._by_context[key] = entry
-        self.epoch += 1
+        self._own(entry)
+        self._bump_epoch(entry.wid)
         return entry
 
     def destroy(self, wid: int) -> WorldTableEntry:
@@ -111,7 +152,8 @@ class WorldTable:
         if entry is None:
             raise NoSuchWorld(wid)
         del self._by_context[entry.context_key()]
-        self.epoch += 1
+        self._disown(entry)
+        self._bump_epoch(wid)
         return entry
 
     def peek(self, wid: int) -> Optional[WorldTableEntry]:
@@ -128,14 +170,16 @@ class WorldTable:
         entry = self._by_wid.pop(wid, None)
         if entry is not None:
             self._by_context.pop(entry.context_key(), None)
-            self.epoch += 1
+            self._disown(entry)
+            self._bump_epoch(wid)
         return entry
 
     def restore_entry(self, entry: WorldTableEntry) -> None:
         """Re-insert an entry removed by :meth:`evict`."""
         self._by_wid[entry.wid] = entry
         self._by_context[entry.context_key()] = entry
-        self.epoch += 1
+        self._own(entry)
+        self._bump_epoch(entry.wid)
 
     def walk_by_wid(self, wid: int) -> WorldTableEntry:
         """Table walk by WID (hypervisor path on a WT-cache miss)."""
@@ -152,8 +196,24 @@ class WorldTable:
         return entry
 
     def worlds_owned_by(self, vm: object) -> int:
-        """How many live worlds a VM owns (for per-VM DoS quotas)."""
-        return sum(1 for e in self._by_wid.values() if e.owner_vm is vm)
+        """How many live worlds a VM owns (for per-VM DoS quotas).
+
+        O(1): the count is maintained incrementally on every mutation,
+        so ``create_world`` under thousands of live worlds never walks
+        the table.
+        """
+        return self._owned.get(vm, 0)
+
+    def epoch_of(self, wid: int) -> int:
+        """The mutation epoch governing ``wid``.
+
+        The flat table has a single epoch; the sharded table
+        (:class:`repro.fleet.shards.ShardedWorldTable`) overrides this
+        to return the owning *shard's* epoch so consumers keyed per-WID
+        (the JIT's world-call superblocks) survive mutations in other
+        shards.
+        """
+        return self.epoch
 
 
 class _LRUCache:
@@ -225,6 +285,16 @@ class WorldTableCaches:
         #: steady-state hot path keeps a stable epoch while any
         #: ``manage_wtc`` traffic invalidates precompiled lookups.
         self.epoch = 0
+
+    def epoch_of(self, wid: int) -> int:
+        """The content epoch governing ``wid`` (single cache: global).
+
+        The sharded caches (:class:`repro.fleet.shards.
+        ShardedWorldTableCaches`) override this with the owning shard
+        cache's epoch so ``manage_wtc`` traffic for one tenant's shard
+        cannot invalidate superblocks compiled for another's.
+        """
+        return self.epoch
 
     def lookup_callee(self, wid: int) -> WorldTableEntry:
         """WT-cache lookup by WID; raises on miss."""

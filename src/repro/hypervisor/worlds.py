@@ -41,6 +41,9 @@ class WorldService:
         self.table = world_table
         self.quota = quota
         self.misses_serviced = 0
+        #: Per-shard miss-service counts when the table is sharded
+        #: (fleet accounting; empty for the flat table).
+        self.shard_misses: dict = {}
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -68,12 +71,22 @@ class WorldService:
             pc=pc, owner_vm=None, vm_name="host")
 
     def destroy_world(self, wid: int, cpus) -> WorldTableEntry:
-        """Unregister a world and invalidate it in every CPU's caches."""
+        """Unregister a world and invalidate it in every CPU's caches.
+
+        With a sharded table only the owning shard's epochs move, so
+        superblocks and cache entries for other tenants' shards stay
+        live.  An installed switchless engine is told to forget the
+        revoked world's sites — its *other* sites (other tenants'
+        flips, rings, windows) survive untouched.
+        """
         entry = self.table.destroy(wid)
         entry.present = False
         for cpu in cpus:
             if cpu.wt_caches is not None:
                 cpu.wt_caches.invalidate(entry)
+        from repro import switchless as _switchless
+        if _switchless._engine is not None:
+            _switchless._engine.on_world_revoked(wid)
         return entry
 
     # ------------------------------------------------------------------
@@ -100,6 +113,10 @@ class WorldService:
         cpu.charge("manage_wtc")
         cpu.wt_caches.fill(entry)
         self.misses_serviced += 1
+        shard_of = getattr(self.table, "shard_of", None)
+        if shard_of is not None:
+            shard = shard_of(entry.wid)
+            self.shard_misses[shard] = self.shard_misses.get(shard, 0) + 1
         recorder = _audit._recorder
         if recorder is not None:
             recorder.on_wtc_service(miss.kind, miss.key)

@@ -19,7 +19,11 @@ Correctness contract — bit-identical counters:
   table's mutation epoch, the WT/IWT cache-content epoch, the global
   mapping epoch, and the fast-path configuration fingerprint.  Any
   bump (world create/destroy/evict, ``manage_wtc`` traffic, page-table
-  or EPT mutation, fast-path toggle) invalidates the block wholesale;
+  or EPT mutation, fast-path toggle) invalidates the block wholesale.
+  When the table is *sharded* (:mod:`repro.fleet.shards`) the
+  world-call site keys on the caller's and callee's shard epochs
+  instead, so a fleet revocation invalidates only blocks touching the
+  mutated shard;
 * guard failures return before the first state change, so a deopted
   call re-executes from scratch on the interpreter with no drift.
 
@@ -135,12 +139,16 @@ class JitEngine:
     # -- cache ----------------------------------------------------------
 
     def _lookup(self, key, anchor, machine, cpu,
-                compile_fn: Callable[[], Any]):
+                compile_fn: Callable[[], Any],
+                epochs: Optional[Tuple] = None):
         """Find a valid block for ``key``, counting heat and compiling
         at the threshold.  Returns ``None`` when the interpreter should
-        run (cold site, or compile declined)."""
+        run (cold site, or compile declined).  Sites with their own
+        epoch formula (the world-call site keys per shard) pass the
+        vector in; everyone else gets the global one."""
         stats = self.stats
-        epochs = self._epochs(machine, cpu)
+        if epochs is None:
+            epochs = self._epochs(machine, cpu)
         blocks = self._blocks
         cached = blocks.get(key)
         if cached is not None:
@@ -277,12 +285,28 @@ class JitEngine:
                 and _faults._engine is None):
             self.stats.deopts += 1
             return DEOPT
+        # The world-call site is keyed *per shard* when the table is
+        # sharded: the epoch terms are the caller's + callee's shard
+        # epochs (both monotonic, so the sum changes iff either shard
+        # mutated) instead of the whole-table epoch.  Revoking a world
+        # in another tenant's shard leaves this block valid.  The flat
+        # table keeps the plain attribute reads on the hit path.
+        table = machine.world_table
+        wtc = cpu.wt_caches
+        if table.sharded:
+            table_epoch = (table.epoch_of(caller.wid)
+                           + table.epoch_of(callee_wid))
+            cache_epoch = (-1 if wtc is None
+                           else wtc.epoch_of(caller.wid)
+                           + wtc.epoch_of(callee_wid))
+        else:
+            table_epoch = table.epoch
+            cache_epoch = wtc.epoch if wtc is not None else -1
         cached = self._blocks.get(key)
         if cached is not None and cached[2] is runtime:
             e = cached[1]
-            wtc = cpu.wt_caches
-            if (e[0] == machine.world_table.epoch
-                    and e[1] == (wtc.epoch if wtc is not None else -1)
+            if (e[0] == table_epoch
+                    and e[1] == cache_epoch
                     and e[2] == _hwmem._mapping_epoch
                     and e[3] == fastpath.fingerprint()):
                 self._blocks.move_to_end(key)
@@ -293,7 +317,9 @@ class JitEngine:
         block = self._lookup(
             key, runtime, machine, cpu,
             lambda: WorldCallSuperblock.compile(self, runtime, caller,
-                                                callee_wid, authorize))
+                                                callee_wid, authorize),
+            epochs=(table_epoch, cache_epoch, _hwmem._mapping_epoch,
+                    fastpath.fingerprint()))
         if block is None:
             return DEOPT
         result = block.execute(payload)

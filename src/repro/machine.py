@@ -37,7 +37,8 @@ class Machine:
 
     def __init__(self, *, features: HardwareFeatures = FEATURES_VMFUNC,
                  cost_model: CostModel = DEFAULT_COST_MODEL,
-                 memory_bytes: int = 32 << 30, cpus: int = 1) -> None:
+                 memory_bytes: int = 32 << 30, cpus: int = 1,
+                 world_table: Optional[WorldTable] = None) -> None:
         if cpus < 1:
             raise SimulationError("a machine needs at least one CPU")
         self.features = features
@@ -56,8 +57,10 @@ class Machine:
             cpu.vm_name = "host"
 
         #: The CrossOver world table (only meaningful with the extension,
-        #: but always present so the hypervisor code is uniform).
-        self.world_table = WorldTable()
+        #: but always present so the hypervisor code is uniform).  The
+        #: fleet engine passes a :class:`ShardedWorldTable` here.
+        self.world_table = world_table if world_table is not None \
+            else WorldTable()
 
         # Deferred imports: these packages import this module's
         # neighbours but not Machine itself.

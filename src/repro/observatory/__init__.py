@@ -367,6 +367,57 @@ class Observatory:
         """Adopt one cell's shipped-back payload (spec order)."""
         self.cells.append(dict(payload, runner=runner, args=list(args)))
 
+    def absorb_fleet(self, result: Dict[str, Any]) -> None:
+        """Adopt one fleet-scheduler run's windowed series as a cell.
+
+        The fleet event loop emits observatory-shaped windows with
+        raw-bucket histograms; this derives the export histogram shape
+        (count/sum/mean + percentiles), sums the window counters into
+        flat ``totals`` (so the conservation crosscheck holds by
+        construction), and appends a payload indistinguishable from a
+        pooled cell's — the ``crossover-top`` dashboard scans and the
+        SLO evaluator consume fleet series unchanged.
+        """
+        windows: List[Dict[str, Any]] = []
+        totals: Dict[str, int] = {}
+        clock = 0
+        for window in result.get("windows", []):
+            hists: Dict[str, Any] = {}
+            for key, hist in window.get("histograms", {}).items():
+                count = hist.get("count", 0)
+                total = hist.get("sum", 0)
+                hists[key] = {
+                    "count": count,
+                    "sum": total,
+                    "mean": round(total / count, 2) if count else None,
+                    "p50": hist.get("p50"), "p90": hist.get("p90"),
+                    "p99": hist.get("p99"), "p999": hist.get("p999"),
+                }
+            for key, delta in window.get("counters", {}).items():
+                totals[key] = totals.get(key, 0) + delta
+            windows.append({
+                "index": window["index"],
+                "start_cycles": window["start_cycles"],
+                "cycles": window["cycles"],
+                "counters": dict(window.get("counters", {})),
+                "gauges": dict(window.get("gauges", {})),
+                "histograms": hists,
+                "subsystems": dict(window.get("subsystems", {})),
+            })
+            clock = max(clock, window["start_cycles"] + window["cycles"])
+        payload: Dict[str, Any] = {
+            "clock": clock,
+            "clipped": 0,
+            "windows": windows,
+            "events": [],
+            "baseline": {},
+            "totals": totals,
+        }
+        payload["crosscheck"] = crosscheck(payload)
+        self.absorb_cell(payload, "fleetcell",
+                         (result.get("tenants"), result.get("mechanism"),
+                          result.get("seed"), result.get("interleave")))
+
     # -- export --------------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:

@@ -408,6 +408,26 @@ class SwitchlessEngine:
         if not first:
             self.policy.rebase()
 
+    def on_world_revoked(self, wid: int) -> None:
+        """Forget one revoked world's switchless state (and nothing
+        else's).
+
+        Called by the hypervisor's ``destroy_world``: the revoked
+        world's rings are torn down, its workers parked, and its policy
+        sites dropped — while every *other* site's flip state, window
+        counters and rings survive untouched.  With the fleet's sharded
+        world table this is the switchless half of shard isolation:
+        tenant A's revocation cannot flip tenant B back to world_call.
+        """
+        for key in [k for k in self._rings
+                    if k[0] == "world" and k[1] == wid]:
+            del self._rings[key]
+            for worker in self._pool:
+                if worker.ring_key == key:
+                    worker.ring_key = None
+                    worker.asleep = True
+        self.policy.drop_world(wid)
+
     def _ring_for(self, key: Tuple[str, Any], machine) -> _RingPair:
         ring = self._rings.get(key)
         if ring is None:

@@ -111,6 +111,18 @@ class AdaptivePolicy:
         state.cold = 0
         state.service_cycles = 0
 
+    def drop_world(self, wid: int) -> None:
+        """Forget every world-call site touching a revoked WID.
+
+        Surgical (per-world, not per-policy): sites for other callers
+        and callees keep their mechanism, window anchors and counters,
+        so a revocation in one tenant cannot disturb another tenant's
+        flips.  The flip *log* is history and is kept.
+        """
+        for site in [s for s in self.sites
+                     if s[0] == "world" and wid in (s[1], s[2])]:
+            del self.sites[site]
+
     def rebase(self) -> None:
         """Restart every site's window at cycle zero.
 

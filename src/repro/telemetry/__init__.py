@@ -274,6 +274,14 @@ class TelemetrySession:
             if value:
                 self.metrics.counter(f"jit.{name}").inc(value)
 
+    def on_fleet_stats(self, stats: Dict[str, int]) -> None:
+        """Absorb one fleet-scheduler run's totals at a quiescent point
+        — the ``crossover-fleet`` campaign cell calls this after its
+        event loop drains, mirroring :meth:`on_jit_stats`."""
+        for name, value in stats.items():
+            if value:
+                self.metrics.counter(f"fleet.{name}").inc(value)
+
     def on_switchless_call(self, kind: str) -> None:
         """The switchless engine diverted one call (``kind`` is
         ``world`` or ``crossvm``)."""

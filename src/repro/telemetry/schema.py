@@ -17,6 +17,7 @@ Usage::
     python -m repro.telemetry.schema audit AUDIT.json
     python -m repro.telemetry.schema switchless SWITCHLESS.json
     python -m repro.telemetry.schema observatory OBSERVATORY.json
+    python -m repro.telemetry.schema fleet FLEET.json
 """
 
 from __future__ import annotations
@@ -108,7 +109,7 @@ def main(argv=None) -> int:
     if len(args) != 2:
         print("usage: python -m repro.telemetry.schema "
               "<metrics|chrome_trace|summary|bench|trajectory|faults"
-              "|audit|switchless> <file.json>",
+              "|audit|switchless|observatory|fleet> <file.json>",
               file=sys.stderr)
         return 2
     errors = validate_file(args[0], args[1])

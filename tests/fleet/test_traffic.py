@@ -1,0 +1,90 @@
+"""Seeded open-loop traffic: determinism, shapes, profiles."""
+
+import pytest
+
+from repro.fleet import traffic
+
+
+class TestTenantPlan:
+    def test_deterministic(self):
+        assert traffic.tenant_plan(50, 7) == traffic.tenant_plan(50, 7)
+        assert traffic.tenant_plan(50, 7) != traffic.tenant_plan(50, 8)
+
+    def test_mix_ratios(self):
+        plan = traffic.tenant_plan(120, 0)
+        kinds = [spec.kind for spec in plan]
+        patterns = [spec.pattern for spec in plan]
+        assert kinds.count("hypershell") == 40      # every third
+        assert patterns.count("onoff") == 30        # every fourth
+
+    def test_rate_scale_multiplies(self):
+        base = traffic.tenant_plan(10, 0)
+        heavy = traffic.tenant_plan(10, 0, rate_scale=8.0)
+        for spec, scaled in zip(base, heavy):
+            assert scaled.rate_rps == pytest.approx(8 * spec.rate_rps,
+                                                    rel=1e-6)
+
+    def test_rate_jitter_bounded(self):
+        for spec in traffic.tenant_plan(200, 3):
+            base = traffic.BASE_RATE_RPS[spec.kind]
+            assert 0.75 * base <= spec.rate_rps <= 1.25 * base
+
+
+class TestArrivals:
+    def _stream(self, spec, seed=0, horizon=50_000_000):
+        return list(traffic.arrivals(spec, seed, horizon))
+
+    def test_deterministic_per_seed_and_tenant(self):
+        spec = traffic.tenant_plan(4, 0)[0]
+        assert self._stream(spec, seed=1) == self._stream(spec, seed=1)
+        assert self._stream(spec, seed=1) != self._stream(spec, seed=2)
+
+    def test_strictly_increasing_nonnegative_within_horizon(self):
+        horizon = 20_000_000
+        for spec in traffic.tenant_plan(8, 5):
+            stream = self._stream(spec, horizon=horizon)
+            assert stream, f"tenant {spec.index} produced no arrivals"
+            assert all(t >= 0 for t in stream)
+            assert all(b > a for a, b in zip(stream, stream[1:]))
+            assert stream[-1] <= horizon
+
+    def test_poisson_rate_roughly_matches_spec(self):
+        spec = traffic.TenantSpec(index=0, kind="openssh",
+                                  pattern="poisson", rate_rps=1000.0)
+        horizon = int(3.4e9)        # one modeled second
+        count = len(self._stream(spec, horizon=horizon))
+        assert 800 <= count <= 1200
+
+    def test_onoff_bursts_and_gaps(self):
+        """ON/OFF arrivals cluster: the max gap dwarfs the median gap
+        (the OFF period), unlike a Poisson stream."""
+        spec = traffic.TenantSpec(index=3, kind="openssh",
+                                  pattern="onoff", rate_rps=2000.0)
+        stream = self._stream(spec, horizon=int(3.4e9))
+        gaps = sorted(b - a for a, b in zip(stream, stream[1:]))
+        median = gaps[len(gaps) // 2]
+        assert gaps[-1] > 10 * median
+
+    def test_unknown_pattern_raises(self):
+        spec = traffic.TenantSpec(index=0, kind="openssh",
+                                  pattern="fractal", rate_rps=1.0)
+        with pytest.raises(ValueError):
+            next(traffic.arrivals(spec, 0, 1000))
+
+
+class TestProfiles:
+    def test_openssh_profile_is_table6_shaped(self):
+        ops = traffic.profile_ops("openssh")
+        calls = [op for op in ops if op[0] == "call"]
+        assert len(calls) == 3                      # CALLS_PER_BLOCK
+        locals_ = [op for op in ops if op[0] == "local"]
+        assert locals_ == [("local", traffic.OPENSSH_CRYPTO_CYCLES)]
+        assert traffic.OPENSSH_CRYPTO_CYCLES == 1024 * 30
+
+    def test_hypershell_profile_single_call(self):
+        ops = traffic.profile_ops("hypershell")
+        assert len([op for op in ops if op[0] == "call"]) == 1
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            traffic.profile_ops("minecraft")

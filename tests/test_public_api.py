@@ -326,3 +326,37 @@ class TestObservatorySurface:
                 for name in names:
                     assert not name.startswith(banned), \
                         f"{filename} imports {name} at module top"
+
+
+class TestFleetSurface:
+    """The fleet package's public surface and its runner-layer (not
+    module-global) discipline (PR 9)."""
+
+    def test_exports_resolve(self):
+        from repro import fleet
+        for name in fleet.__all__:
+            assert getattr(fleet, name) is not None
+
+    def test_importing_fleet_hooks_nothing(self):
+        """repro.fleet is a runner-layer engine: importing it must not
+        install a module-global engine anywhere."""
+        import repro.fleet  # noqa: F401
+        from repro import faults, jit, switchless, telemetry
+        assert switchless._engine is None
+        assert jit._engine is None
+        assert faults._engine is None
+        assert telemetry.current() is None
+
+    def test_cell_runner_registered_lazily(self):
+        """The pool resolves 'fleetcell' even when the campaign module
+        was not imported in the worker process."""
+        from repro.analysis import parallel
+        results = parallel.run_cells(
+            [("fleetcell", (2, "world_call", 0, 0.5, 1, 0, 4, 1.0))],
+            workers=1)
+        assert results[0].value["tenants"] == 2
+
+    def test_cli_entry_points_exposed(self):
+        from repro.fleet.cli import build_parser, main
+        assert callable(main)
+        assert build_parser().prog == "crossover-fleet"

@@ -139,6 +139,75 @@ class TestDeepNesting:
         assert runtime.calls_completed == 100
 
 
+class TestFleetScale:
+    def test_thousand_world_fleet_shard_isolation(self):
+        """500 tenants (1000 worlds) on the sharded table: revoking
+        tenant A's callee moves only A's shard epochs — tenant B's JIT
+        superblock key inputs (table + cache epochs) and its switchless
+        site survive untouched."""
+        from repro import switchless
+        from repro.fleet import traffic
+        from repro.fleet.scheduler import build_fleet
+        from repro.switchless import SwitchlessConfig, SwitchlessEngine
+
+        fleet = build_fleet(traffic.tenant_plan(500, 0))
+        table, caches = fleet.table, fleet.machine.cpu.wt_caches
+        assert sum(s["worlds"] for s in table.shard_stats()) == 1000
+        a, b = fleet.tenants[0], fleet.tenants[1]
+        assert a.shard != b.shard
+
+        engine = switchless.install(
+            SwitchlessEngine(SwitchlessConfig(mode="force", workers=1)))
+        site_a = ("world", a.caller_wid, a.callee_wid)
+        site_b = ("world", b.caller_wid, b.callee_wid)
+        try:
+            engine.policy.decide(site_a, 0)
+            engine.policy.decide(site_b, 0)
+            old_callee = a.callee_wid
+            b_table_epoch = table.epoch_of(b.callee_wid)
+            b_cache_epoch = caches.epoch_of(b.callee_wid)
+            a_table_epoch = table.epoch_of(old_callee)
+
+            fleet.revoke_and_recreate(a)
+
+            # B's epochs — the sharded JIT superblock guard terms — did
+            # not move, so B's compiled blocks stay valid.
+            assert table.epoch_of(b.callee_wid) == b_table_epoch
+            assert caches.epoch_of(b.callee_wid) == b_cache_epoch
+            # A's shard saw the destroy + create, and the old WID's
+            # warmed cache entry is gone.
+            assert table.epoch_of(a.callee_wid) == a_table_epoch + 2
+            assert a.callee_wid > old_callee
+            assert old_callee not in caches.wt
+            # Switchless half: only A's site was dropped.
+            assert site_a not in engine.policy.sites
+            assert site_b in engine.policy.sites
+        finally:
+            switchless.uninstall()
+
+    def test_interleave_widths_cycle_identical_at_scale(self):
+        """100 tenants through the fleet scheduler at 1/2/4 lanes: the
+        committed event sequence — and therefore every result field —
+        is identical."""
+        from repro.fleet import traffic
+        from repro.fleet.scheduler import FleetScheduler, MechanismCosts
+
+        specs = traffic.tenant_plan(100, 1, rate_scale=20.0)
+        costs = MechanismCosts(
+            mechanism="world_call", total_cycles=600, service_cycles=100,
+            issue_cycles=250, return_cycles=250, cold_extra_cycles=0,
+            miss_penalty_cycles=5_000, serialized=False)
+        runs = []
+        for width in (1, 2, 4):
+            result = FleetScheduler(
+                specs, costs, seed=1, horizon_cycles=30_000_000,
+                interleave=width).run()
+            result.pop("interleave")
+            runs.append(result)
+        assert runs[0]["requests"] > 1000
+        assert runs[0] == runs[1] == runs[2]
+
+
 class TestManyProcesses:
     def test_thousand_process_vm_remains_functional(self):
         machine = Machine()

@@ -171,6 +171,39 @@ def extract_series(bench: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
                 "direction": "higher",
             }
         return series
+    if bench.get("schema") == "crossover-xray/v1":
+        sampled = sum(
+            cell.get("xray", {}).get("traces_sampled", 0)
+            for cell in bench.get("cells", {}).values())
+        if sampled:
+            series["xray.traces_sampled"] = {
+                "value": sampled,
+                "samples": [sampled],
+                "direction": "higher",
+            }
+        # The tail explainer's headline: how much of the baseline p99
+        # exemplar's latency is contention (queue + hv-serialization
+        # wait) at the top tenant count.  Driving this down is the
+        # paper's point.
+        for row in bench.get("tail", []):
+            exemplar = row.get("p99_exemplar")
+            if row.get("mechanism") != "baseline" or not exemplar:
+                continue
+            latency = exemplar.get("latency")
+            if latency:
+                share = exemplar["contention_cycles"] / latency
+                series["xray.p99_contention_share"] = {
+                    "value": round(share, 6),
+                    "samples": [round(share, 6)],
+                    "direction": "lower",
+                }
+        ok = 1 if bench.get("conservation", {}).get("ok") else 0
+        series["xray.conservation_ok"] = {
+            "value": ok,
+            "samples": [ok],
+            "direction": "higher",
+        }
+        return series
     for run_name, run in sorted(bench.get("runs", {}).items()):
         if not isinstance(run, dict) or "wall_seconds" not in run:
             continue

@@ -34,6 +34,7 @@ from repro import jit as _jit
 from repro import observatory as _observatory
 from repro import switchless as _switchless
 from repro import telemetry
+from repro import xray as _xray
 from repro.core import convention, fastpath
 from repro.core.binding import BindingTable
 from repro.core.channel import Channel, next_channel_gva
@@ -247,9 +248,15 @@ class WorldCallRuntime:
                                         authorize=authorize)
         # Latency histogram for the time-resolved view (and the SLO
         # engine's ``world_call.cycles.p99``): pure counter read, the
-        # modeled numbers are unchanged.
+        # modeled numbers are unchanged.  With an xray session also
+        # installed, sampled calls mint a deterministic trace id that
+        # becomes the bucket's exemplar.
+        exemplar = None
+        xray_session = _xray._session
+        if xray_session is not None:
+            exemplar = xray_session.call_exemplar(caller.wid, callee_wid)
         session.on_world_call_cycles(
-            self.machine.cpu.perf.cycles - cycles_before)
+            self.machine.cpu.perf.cycles - cycles_before, exemplar)
         return result
 
     def _call_mechanism(self, mechanism: str, caller: World,

@@ -57,15 +57,24 @@ def run_fleet_cell(tenants: int, mechanism: str, seed: int,
                    horizon_ms: float, interleave: int = 1,
                    churn_every: int = DEFAULT_CHURN_EVERY,
                    cores: int = DEFAULT_CORES,
-                   rate_scale: float = 1.0) -> Dict[str, Any]:
+                   rate_scale: float = 1.0,
+                   xray_sample: int = 0,
+                   xray_keep: int = 24) -> Dict[str, Any]:
     """One campaign cell: calibrate the mechanism on a fresh two-VM
     machine, stand up the sharded fleet, replay the seeded arrivals.
     Self-contained, so it runs identically in-process or in a fork
-    worker."""
+    worker.
+
+    ``xray_sample`` > 0 rides an :class:`~repro.xray.trace.
+    XrayRecorder` along (1-in-N seeded-hash trace sampling, ``xray_keep``
+    top traces kept): the result gains an ``xray`` payload and
+    histogram exemplars, with every timing number unchanged.
+    """
     from repro.fleet import traffic
     from repro.fleet.scheduler import (FleetScheduler, build_fleet,
                                        calibrate_costs)
     from repro.hw.costs import CYCLES_PER_US
+    from repro.xray.trace import XrayRecorder
 
     if mechanism not in MECHANISMS:
         raise ValueError(f"unknown mechanism {mechanism!r}; "
@@ -74,16 +83,19 @@ def run_fleet_cell(tenants: int, mechanism: str, seed: int,
     costs = calibrate_costs(mechanism)
     fleet = build_fleet(specs)
     horizon = int(horizon_ms * 1000 * CYCLES_PER_US)
+    recorder = (XrayRecorder(seed=seed, sample_every=xray_sample,
+                             keep=xray_keep)
+                if xray_sample > 0 else None)
     scheduler = FleetScheduler(
         specs, costs, seed=seed, horizon_cycles=horizon,
         cores=cores, interleave=interleave, churn_every=churn_every,
-        fleet=fleet)
+        fleet=fleet, xray=recorder)
     result = scheduler.run()
     result["rate_scale"] = rate_scale
     result["misses_serviced"] = fleet.service.misses_serviced
     session = telemetry.current()
     if session is not None:
-        session.on_fleet_stats({
+        stats = {
             "requests": result["requests"],
             "completed": result["completed"],
             "sched_events": result["sched_events"],
@@ -91,7 +103,10 @@ def run_fleet_cell(tenants: int, mechanism: str, seed: int,
             "calls_hot": result["calls"]["hot"],
             "calls_cold": result["calls"]["cold"],
             "misses_serviced": result["misses_serviced"],
-        })
+        }
+        if recorder is not None:
+            stats["xray_traces_sampled"] = recorder.traces_sampled
+        session.on_fleet_stats(stats)
     return result
 
 

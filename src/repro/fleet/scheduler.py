@@ -57,7 +57,10 @@ from repro.fleet.shards import (
     ShardedWorldTableCaches,
 )
 from repro.hw.costs import CLOCK_HZ
-from repro.telemetry.registry import bucket_percentile
+from repro.telemetry.registry import (bucket_percentile, exemplars_dict,
+                                      merge_exemplar)
+from repro.xray.trace import (HANDLER, HV, MARSHAL, REFILL, RETURN,
+                              TRANSITION, WAKEUP)
 
 #: The three transports the fleet sweeps.
 MECHANISMS = ("baseline", "world_call", "switchless")
@@ -101,6 +104,10 @@ class MechanismCosts:
     cold_extra_cycles: int    # parked-worker wakeup (switchless only)
     miss_penalty_cycles: int  # WT/IWT refill after a revocation
     serialized: bool          # issue/return contend on the hypervisor
+    #: Marshal/encode half of the issue stage (attribution only: the
+    #: scheduler still pushes one event for the whole issue duration,
+    #: so adding this field cannot change any timing result).
+    marshal_cycles: int = 0
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -112,6 +119,7 @@ class MechanismCosts:
             "cold_extra_cycles": self.cold_extra_cycles,
             "miss_penalty_cycles": self.miss_penalty_cycles,
             "serialized": self.serialized,
+            "marshal_cycles": self.marshal_cycles,
         }
 
 
@@ -209,15 +217,25 @@ def calibrate_costs(mechanism: str) -> MechanismCosts:
             harness.idle(50_000_000)     # park the worker context
             cold_extra = max(0, harness.call(mech_arg) - total)
         transport = max(2, total - service)
+        issue = (transport + 1) // 2
+        # The marshal/encode share of the issue half, priced from the
+        # same cost model the measured call charged (save-state +
+        # param-setup); clamped so the transition core keeps at least
+        # one cycle.  Attribution only — issue timing is unchanged.
+        cm = harness.machine.cost_model
+        marshal = min(max(0, issue - 1),
+                      cm.world_save_state.cycles
+                      + cm.world_param_setup.cycles)
         return MechanismCosts(
             mechanism=mechanism,
             total_cycles=total,
             service_cycles=min(service, total - 2),
-            issue_cycles=(transport + 1) // 2,
+            issue_cycles=issue,
             return_cycles=transport // 2,
             cold_extra_cycles=cold_extra,
             miss_penalty_cycles=miss_penalty,
             serialized=(mechanism == "baseline"),
+            marshal_cycles=marshal,
         )
     finally:
         _sl._engine = previous
@@ -365,12 +383,13 @@ class _Tenant:
 
 
 class _Request:
-    __slots__ = ("tenant", "arrival", "stages", "idx")
+    __slots__ = ("tenant", "arrival", "stages", "idx", "xr")
 
     def __init__(self, tenant: _Tenant, arrival: int) -> None:
         self.tenant = tenant
         self.arrival = arrival
         self.idx = 0
+        self.xr = None          # TraceState when an xray recorder rides
         stages: List = []
         for op in tenant.ops:
             if op[0] == "call":
@@ -384,7 +403,7 @@ class _Request:
 
 class _Window:
     __slots__ = ("arrivals", "completed", "revocations", "backlog_max",
-                 "counts", "count", "sum", "max")
+                 "counts", "count", "sum", "max", "exemplars")
 
     def __init__(self) -> None:
         self.arrivals = 0
@@ -395,8 +414,10 @@ class _Window:
         self.count = 0
         self.sum = 0
         self.max = 0
+        self.exemplars = None   # bucket -> (rank, trace id, value)
 
-    def observe(self, value: int) -> None:
+    def observe(self, value: int,
+                exemplar: Optional[str] = None) -> None:
         self.count += 1
         self.sum += value
         if value > self.max:
@@ -411,6 +432,9 @@ class _Window:
         if lo < len(LATENCY_BOUNDS):
             self.counts[lo] += 1
         # else: overflow, derived as count - sum(counts)
+        if exemplar is not None:
+            self.exemplars = merge_exemplar(
+                self.exemplars, lo, exemplar, value)
 
 
 class FleetScheduler:
@@ -424,7 +448,8 @@ class FleetScheduler:
                  cores: int = DEFAULT_CORES,
                  interleave: int = 1,
                  churn_every: int = 0,
-                 fleet: Optional[FleetMachine] = None) -> None:
+                 fleet: Optional[FleetMachine] = None,
+                 xray=None) -> None:
         if horizon_cycles <= 0:
             raise SimulationError("horizon must be positive")
         if interleave < 1:
@@ -441,6 +466,12 @@ class FleetScheduler:
         self.interleave = interleave
         self.churn_every = churn_every
         self.fleet = fleet
+        #: Optional :class:`~repro.xray.trace.XrayRecorder`.  Every
+        #: hook below is behind ``is not None`` and records pure
+        #: bookkeeping — no event, duration or commit-order changes —
+        #: so a dormant scheduler's results are bit-identical to PR9.
+        self.xray = xray
+        self.hv_holder: Optional[int] = None
         by_index = {}
         if fleet is not None:
             by_index = {t.spec.index: t for t in fleet.tenants}
@@ -512,6 +543,9 @@ class FleetScheduler:
         if nxt is not None:
             self._push(nxt, _EV_ARRIVAL, tenant)
         request = _Request(tenant, cycle)
+        if self.xray is not None:
+            request.xr = self.xray.begin(tenant.spec.index, cycle)
+            request.xr.hv_busy0 = self.hv_busy
         self.arrived += 1
         self.backlog += 1
         window = self._window(cycle)
@@ -535,26 +569,45 @@ class FleetScheduler:
     def _start_stage(self, request: _Request, cycle: int) -> None:
         opcode, operand = request.stages[request.idx]
         costs = self.costs
+        xr = request.xr
+        if xr is not None and xr.grant is None:
+            xr.grant = cycle    # queue_wait = grant - arrival
+            xr.hv_busyg = self.hv_busy
         if opcode == _LOCAL:
+            if xr is not None:
+                xr.segs[HANDLER] += operand
             self._push(cycle + operand, _EV_STAGE, request)
             return
         if opcode == _ISSUE:
             tenant = request.tenant
             self.calls += 1
-            duration = costs.issue_cycles + tenant.pending_penalty
+            penalty = tenant.pending_penalty
+            duration = costs.issue_cycles + penalty
             tenant.pending_penalty = 0
+            cold = 0
             if costs.cold_extra_cycles:
                 if cycle - tenant.last_service <= HOT_WINDOW_CYCLES:
                     self.calls_hot += 1
                 else:
                     self.calls_cold += 1
-                    duration += costs.cold_extra_cycles
+                    cold = costs.cold_extra_cycles
+                    duration += cold
+            if xr is not None:
+                xr.segs[REFILL] += penalty
+                xr.segs[WAKEUP] += cold
+                xr.segs[MARSHAL] += costs.marshal_cycles
+                xr.segs[TRANSITION] += (costs.issue_cycles
+                                        - costs.marshal_cycles)
             self._push_transition(request, cycle, duration)
             return
         if opcode == _SERVICE:
+            if xr is not None:
+                xr.segs[HANDLER] += costs.service_cycles
             self._push(cycle + costs.service_cycles, _EV_STAGE, request)
             return
         # _RETURN
+        if xr is not None:
+            xr.segs[RETURN] += costs.return_cycles
         self._push_transition(request, cycle, costs.return_cycles)
 
     def _push_transition(self, request: _Request, cycle: int,
@@ -565,9 +618,18 @@ class FleetScheduler:
             self._push(cycle + duration, _EV_STAGE, request)
             return
         start = max(cycle, self.hv_free)
-        self.hv_wait += start - cycle
+        wait = start - cycle
+        self.hv_wait += wait
         self.hv_free = start + duration
         self.hv_busy += duration
+        if self.xray is not None:
+            xr = request.xr
+            if xr is not None:
+                xr.segs[HV] += wait
+                if wait and self.hv_holder is not None:
+                    self.xray.hv_blame(self.hv_holder,
+                                       request.tenant.spec.index, wait)
+            self.hv_holder = request.tenant.spec.index
         self._push(start + duration, _EV_STAGE, request)
 
     def _on_stage(self, cycle: int, request: _Request) -> None:
@@ -583,10 +645,15 @@ class FleetScheduler:
     def _complete(self, request: _Request, cycle: int) -> None:
         tenant = request.tenant
         latency = cycle - request.arrival
+        exemplar = None
+        if request.xr is not None:
+            # Sampled requests hand their trace id back as the
+            # histogram exemplar — every exemplar id is replayable.
+            exemplar = self.xray.commit(request.xr, cycle)
         window = self._window(cycle)
         window.completed += 1
-        window.observe(latency)
-        self.total.observe(latency)
+        window.observe(latency, exemplar)
+        self.total.observe(latency, exemplar)
         self.completed += 1
         self.backlog -= 1
         if cycle <= self.horizon:
@@ -622,7 +689,7 @@ class FleetScheduler:
                                       max_value=window.max or None)
             return None if value is None else round(value, 2)
 
-        return {
+        out = {
             "bounds": bounds,
             "counts": list(window.counts),
             "count": window.count,
@@ -632,6 +699,9 @@ class FleetScheduler:
             "p50": pct(50), "p90": pct(90), "p99": pct(99),
             "p999": pct(99.9),
         }
+        if window.exemplars:
+            out["exemplars"] = exemplars_dict(window.exemplars)
+        return out
 
     def _results(self) -> Dict[str, Any]:
         horizon_s = self.horizon / CLOCK_HZ
@@ -689,4 +759,9 @@ class FleetScheduler:
         if self.fleet is not None:
             result["revocations"] = self.fleet.revocations
             result["shards"] = self.fleet.shard_stats()
+        if self.xray is not None:
+            result["xray"] = self.xray.to_dict(
+                p99=result["latency"]["p99"],
+                exemplars=exemplars_dict(self.total.exemplars),
+                windows=windows)
         return result

@@ -45,7 +45,7 @@ from __future__ import annotations
 import contextlib
 from typing import Any, Dict, Iterator, List, Optional
 
-from repro.observatory.store import WindowStore, crosscheck
+from repro.observatory.store import CLIP_COUNTER, WindowStore, crosscheck
 
 __all__ = [
     "Observatory", "ObservatoryConfig", "WindowStore", "crosscheck",
@@ -356,6 +356,30 @@ class Observatory:
         self.store.record(index, cycles, counter_deltas, gauges,
                           hist_deltas, sub_deltas)
 
+    def reset(self) -> None:
+        """Drop everything recorded so far and start a fresh recording.
+
+        Windows, events, absorbed cells, the cumulative clock and the
+        baseline all rewind; the current sources' raw values become the
+        new baseline (so the next window only sees activity after the
+        reset), and a still-adopted perf counter is re-anchored onto
+        the rewound clock.
+        """
+        perf = self._perf
+        self.store = WindowStore(self.config.window_cycles,
+                                 self.config.max_windows)
+        self.clock = 0
+        self.cells = []
+        self._flushed = False
+        self._sources = {}
+        self._prev = {}
+        self._prev_hists = {}
+        self._baseline = {}
+        self._totals = {}
+        self._rebase()
+        if perf is not None:
+            self.adopt(perf)
+
     # -- per-cell fan-out ----------------------------------------------
 
     def spawn(self) -> "Observatory":
@@ -379,11 +403,22 @@ class Observatory:
         SLO evaluator consume fleet series unchanged.
         """
         windows: List[Dict[str, Any]] = []
+        events: List[Dict[str, Any]] = []
         totals: Dict[str, int] = {}
+        ladders: Dict[str, List[Any]] = {}
         clock = 0
         for window in result.get("windows", []):
             hists: Dict[str, Any] = {}
             for key, hist in window.get("histograms", {}).items():
+                bounds = hist.get("bounds")
+                if bounds is not None:
+                    seen = ladders.setdefault(key, list(bounds))
+                    if seen != list(bounds):
+                        # Same guard as WindowStore.record: percentile
+                        # series are meaningless across a ladder change.
+                        raise ValueError(
+                            f"histogram {key!r} changed bucket ladder "
+                            f"across fleet windows")
                 count = hist.get("count", 0)
                 total = hist.get("sum", 0)
                 hists[key] = {
@@ -393,6 +428,21 @@ class Observatory:
                     "p50": hist.get("p50"), "p90": hist.get("p90"),
                     "p99": hist.get("p99"), "p999": hist.get("p999"),
                 }
+                exemplars = hist.get("exemplars")
+                if exemplars:
+                    # Pin the window's tail exemplar (highest populated
+                    # bucket) to the timeline: the p99 spike in this
+                    # window links to a concrete replayable trace id.
+                    top = max(exemplars, key=int)
+                    exm = exemplars[top]
+                    events.append({
+                        "kind": "xray.exemplar",
+                        "label": exm["trace_id"],
+                        "detail": f"{key} bucket {top} "
+                                  f"value {exm['value']}",
+                        "cycles": window["start_cycles"],
+                        "window": window["index"],
+                    })
             for key, delta in window.get("counters", {}).items():
                 totals[key] = totals.get(key, 0) + delta
             windows.append({
@@ -409,7 +459,7 @@ class Observatory:
             "clock": clock,
             "clipped": 0,
             "windows": windows,
-            "events": [],
+            "events": events,
             "baseline": {},
             "totals": totals,
         }
@@ -428,6 +478,13 @@ class Observatory:
         ``crosscheck``, and any absorbed per-cell payloads.
         """
         self.flush()
+        totals = {k: self._totals[k] for k in sorted(self._totals)}
+        if self.store.clipped:
+            # The clip counter lives in the folded window, not the
+            # registry; mirror it into totals so the conservation
+            # crosscheck balances (baseline 0 + window sum == total).
+            totals[CLIP_COUNTER] = (totals.get(CLIP_COUNTER, 0)
+                                    + self.store.clipped)
         payload: Dict[str, Any] = {
             "label": self.label,
             "config": self.config.to_dict(),
@@ -437,7 +494,7 @@ class Observatory:
             "events": self.store.to_events(),
             "baseline": {k: self._baseline[k]
                          for k in sorted(self._baseline)},
-            "totals": {k: self._totals[k] for k in sorted(self._totals)},
+            "totals": totals,
         }
         payload["crosscheck"] = crosscheck(payload)
         if self.cells:

@@ -196,13 +196,18 @@ class SloObjective:
 
     # -- burn-rate evaluation ------------------------------------------
 
-    def evaluate(self, windows: Sequence[Mapping[str, Any]]
+    def evaluate(self, windows: Sequence[Mapping[str, Any]],
+                 causes: Optional[Mapping[int, str]] = None
                  ) -> Dict[str, Any]:
         """Judge every window and fire rising-edge burn-rate alerts.
 
         Returns ``{"objective", "windows", "good", "bad", "skipped",
         "worst", "alerts"}`` — each alert pins the window index where
-        the burn condition started holding.
+        the burn condition started holding.  ``causes`` (optional) maps
+        window index -> attribution label (e.g. the xray explainer's
+        dominant contention segment for that window); a firing alert
+        then carries ``top_cause`` so the report names *why* the tail
+        burned, not just that it did.
         """
         verdicts: List[Dict[str, Any]] = []
         bad_flags: List[bool] = []
@@ -230,12 +235,17 @@ class SloObjective:
             now_burning = (short_rate >= self.fast_burn
                            and long_rate >= self.slow_burn)
             if now_burning and not burning:
-                alerts.append({
+                alert = {
                     "window": verdicts[i]["index"],
                     "value": verdicts[i]["value"],
                     "short_burn": round(short_rate, 4),
                     "long_burn": round(long_rate, 4),
-                })
+                }
+                if causes is not None:
+                    cause = causes.get(verdicts[i]["index"])
+                    if cause is not None:
+                        alert["top_cause"] = cause
+                alerts.append(alert)
             burning = now_burning
         bad = sum(bad_flags)
         return {
@@ -254,13 +264,16 @@ class SloObjective:
 
 
 def evaluate_slos(objectives: Sequence[Any],
-                  windows: Sequence[Mapping[str, Any]]
+                  windows: Sequence[Mapping[str, Any]],
+                  causes: Optional[Mapping[int, str]] = None
                   ) -> Dict[str, Any]:
     """Evaluate objectives (strings or :class:`SloObjective`) against
-    one payload's windows; report-only summary."""
+    one payload's windows; report-only summary.  ``causes`` (window
+    index -> attribution label) flows through to each alert's
+    ``top_cause``."""
     parsed = [obj if isinstance(obj, SloObjective)
               else SloObjective.parse(obj) for obj in objectives]
-    results = [obj.evaluate(windows) for obj in parsed]
+    results = [obj.evaluate(windows, causes) for obj in parsed]
     return {
         "objectives": results,
         "alerts_fired": sum(len(r["alerts"]) for r in results),

@@ -32,6 +32,9 @@ from typing import Any, Dict, List, Mapping, Optional
 #: recomputed at export from the delta buckets).
 _HIST_FIELDS = ("count", "sum", "overflow")
 
+#: Counter name recording window-cap folds (see ``WindowStore._window``).
+CLIP_COUNTER = "observatory.windows_clipped"
+
 
 def _percentile(bounds, counts, count, overflow, p) -> Optional[float]:
     from repro.telemetry.registry import bucket_percentile
@@ -64,10 +67,25 @@ class WindowStore:
             if index not in self._windows and \
                     len(self._windows) >= self.max_windows:
                 # Bounded store: past the cap, later samples fold into
-                # the newest retained window (declared via ``clipped``).
+                # the newest retained window.  The fold is no longer
+                # silent: each one bumps a per-window counter (summed
+                # into ``totals`` at export so the conservation
+                # crosscheck still balances) and the first one pins a
+                # timeline event — a long fleet horizon that outgrew
+                # the ring is visible in the artifact, not just as a
+                # quietly smeared last window.
+                fold_into = max(self._windows)
+                if self.clipped == 0:
+                    self.add_event(
+                        "observatory.clip", "windows",
+                        f"window cap {self.max_windows} reached; "
+                        f"folding window {index}+ into {fold_into}",
+                        fold_into * self.window_cycles)
                 self.clipped += 1
-                index = max(self._windows)
-                return self._windows[index]
+                window = self._windows[fold_into]
+                counters = window["counters"]
+                counters[CLIP_COUNTER] = counters.get(CLIP_COUNTER, 0) + 1
+                return window
             window = self._windows[index] = {
                 "counters": {}, "gauges": {}, "histograms": {},
                 "subsystems": {}, "cycles": 0}

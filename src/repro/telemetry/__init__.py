@@ -225,15 +225,18 @@ class TelemetrySession:
                 callee_wid=callee_wid).inc
         inc()
 
-    def on_world_call_cycles(self, cycles: int) -> None:
+    def on_world_call_cycles(self, cycles: int,
+                             exemplar: Optional[str] = None) -> None:
         """One completed world call cost ``cycles`` modeled cycles
         end-to-end — the ``world_call.cycles`` latency histogram the
-        observatory's SLO engine reads per window."""
+        observatory's SLO engine reads per window.  ``exemplar`` (a
+        deterministic xray trace id, when an xray session is installed
+        and sampled this call) pins the bucket's exemplar trace."""
         observe = self._worldcall_hist
         if observe is None:
             observe = self._worldcall_hist = self.metrics.histogram(
                 "world_call.cycles").observe
-        observe(cycles)
+        observe(cycles, exemplar)
 
     def on_crossvm_roundtrip(self, frm: str, to: str) -> None:
         """A Figure-4 cross-VM round trip started."""

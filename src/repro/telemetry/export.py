@@ -202,8 +202,26 @@ def render_openmetrics(snapshot: Dict[str, Any]) -> str:
     with one ``# TYPE`` line each; counters get the conventional
     ``_total`` suffix; histograms expose cumulative ``_bucket{le=...}``
     series plus ``_sum`` / ``_count``; the text ends with ``# EOF``.
+
+    Histogram snapshots carrying an ``exemplars`` map (bucket index ->
+    trace id + value, the registry's hash-max pick) get the OpenMetrics
+    exemplar suffix on the matching ``_bucket`` line::
+
+        name_bucket{le="500"} 4 # {trace_id="t7#42"} 312 0
+
+    The timestamp is always ``0``: every quantity here lives on the
+    modeled clock, and a wall timestamp would break byte-identical
+    artifacts.  The overflow bucket's exemplar rides the ``+Inf`` line.
     """
     lines: List[str] = []
+
+    def exemplar_suffix(data, index: int) -> str:
+        exm = data.get("exemplars", {}).get(str(index))
+        if exm is None:
+            return ""
+        trace = _openmetrics_escape(str(exm["trace_id"]))
+        return (f' # {{trace_id="{trace}"}} '
+                f'{_openmetrics_value(exm["value"])} 0')
 
     def group(entries):
         families: Dict[str, List[Tuple[Any, Any]]] = {}
@@ -230,13 +248,15 @@ def render_openmetrics(snapshot: Dict[str, Any]) -> str:
         lines.append(f"# TYPE {metric} histogram")
         for labels, data in series:
             cumulative = 0
-            for bound, count in data["buckets"]:
+            for index, (bound, count) in enumerate(data["buckets"]):
                 cumulative += count
                 le = _openmetrics_labels(
                     labels, ("le", _openmetrics_value(float(bound))))
-                lines.append(f"{metric}_bucket{le} {cumulative}")
+                lines.append(f"{metric}_bucket{le} {cumulative}"
+                             f"{exemplar_suffix(data, index)}")
             inf = _openmetrics_labels(labels, ("le", "+Inf"))
-            lines.append(f"{metric}_bucket{inf} {data['count']}")
+            lines.append(f"{metric}_bucket{inf} {data['count']}"
+                         f"{exemplar_suffix(data, len(data['buckets']))}")
             rendered = _openmetrics_labels(labels)
             total = data.get("sum", data.get("total", 0))
             lines.append(f"{metric}_sum{rendered} "

@@ -14,6 +14,7 @@ observes the machine, it is not part of the machine.
 from __future__ import annotations
 
 from bisect import bisect_left
+from hashlib import blake2b
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 #: Canonical (sorted) label items identifying one series in a family.
@@ -39,6 +40,47 @@ def series_name(name: str, labels: LabelKey) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def exemplar_rank(trace_id: str) -> int:
+    """Deterministic selection rank for a histogram exemplar.
+
+    Per bucket the kept exemplar is the trace id with the *maximal*
+    rank — a pure function of the id, so the choice is a max() over a
+    set and therefore commutative/associative: registries merged in
+    any order (or a single registry that saw every observation) keep
+    the same exemplar.  A uniform reservoir would not survive merging;
+    a hash-max "reservoir" does, and is still an unbiased draw over
+    the ids landing in the bucket.
+    """
+    return int.from_bytes(
+        blake2b(trace_id.encode(), digest_size=8,
+                person=b"xray-exm").digest(), "big")
+
+
+def merge_exemplar(store: Optional[Dict[int, Tuple[int, str, float]]],
+                   index: int, trace_id: str, value: float
+                   ) -> Dict[int, Tuple[int, str, float]]:
+    """Fold one (bucket index, trace id, value) exemplar candidate into
+    ``store`` (created on first use), keeping the hash-max winner."""
+    if store is None:
+        store = {}
+    entry = (exemplar_rank(trace_id), trace_id, value)
+    current = store.get(index)
+    if current is None or entry > current:
+        store[index] = entry
+    return store
+
+
+def exemplars_dict(store: Optional[Dict[int, Tuple[int, str, float]]]
+                   ) -> Dict[str, Dict[str, Any]]:
+    """Plain-data snapshot of an exemplar store: bucket index (as a
+    JSON-safe string key, sorted numerically) -> trace id + value."""
+    if not store:
+        return {}
+    return {str(index): {"trace_id": store[index][1],
+                         "value": store[index][2]}
+            for index in sorted(store)}
 
 
 def bucket_percentile(bounds: Tuple[float, ...], bucket_counts,
@@ -121,7 +163,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "buckets", "bucket_counts", "count",
-                 "total", "min", "max")
+                 "total", "min", "max", "exemplars")
 
     def __init__(self, name: str, labels: LabelKey,
                  buckets: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
@@ -135,16 +177,25 @@ class Histogram:
         self.total: float = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        #: bucket index -> (rank, trace id, value); None until the
+        #: first exemplar arrives so plain histograms pay nothing.
+        self.exemplars: Optional[Dict[int, Tuple[int, str, float]]] = None
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+    def observe(self, value: float,
+                exemplar: Optional[str] = None) -> None:
+        """Record one observation; ``exemplar`` optionally attaches a
+        trace id to the bucket the value lands in (hash-max kept)."""
+        index = bisect_left(self.buckets, value)
+        self.bucket_counts[index] += 1
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
             self.max = value
+        if exemplar is not None:
+            self.exemplars = merge_exemplar(
+                self.exemplars, index, exemplar, value)
 
     def percentile(self, p: float) -> Optional[float]:
         """The linearly interpolated ``p``-th percentile
@@ -229,7 +280,7 @@ class MetricsRegistry:
                 elif kind == "gauge":
                     out["gauges"][rendered] = series.value
                 else:
-                    out["histograms"][rendered] = {
+                    data = {
                         "count": series.count,
                         "total": series.total,
                         "sum": series.total,
@@ -245,6 +296,10 @@ class MetricsRegistry:
                                         series.bucket_counts)],
                         "overflow": series.bucket_counts[-1],
                     }
+                    if series.exemplars:
+                        data["exemplars"] = exemplars_dict(
+                            series.exemplars)
+                    out["histograms"][rendered] = data
         return out
 
     def digest(self, top: int = 12) -> Dict[str, Any]:
@@ -314,6 +369,10 @@ class MetricsRegistry:
                     current = getattr(hist, attr)
                     setattr(hist, attr, incoming if current is None
                             else pick(current, incoming))
+            for index, exm in data.get("exemplars", {}).items():
+                hist.exemplars = merge_exemplar(
+                    hist.exemplars, int(index),
+                    exm["trace_id"], exm["value"])
 
 
 def _parse_series(rendered: str) -> Tuple[str, LabelKey]:

@@ -1,0 +1,228 @@
+"""``crossover-xray`` — fleet-scale tracing and tail attribution.
+
+Runs the traced tenant-count x mechanism sweep from
+:mod:`repro.xray.campaign`, prints the tail explainer (the p99
+exemplar dissected per mechanism, the noisy-neighbor report, the
+conservation verdict), optionally writes the schema-validated
+``crossover-xray/v1`` artifact and a Perfetto/Chrome trace of the
+sampled requests on the modeled-cycle axis::
+
+    crossover-xray                               # default 10/100/1000 sweep
+    crossover-xray --tenants 10,100 --sample-every 8 --keep 16
+    crossover-xray --out XRAY.json --trace-out xray.trace.json --workers 4
+    crossover-xray --slo 'fleet.latency.cycles.p99 < 2000000' --strict
+    crossover-xray --check XRAY.json             # re-verify an artifact
+
+``--check`` mode re-validates an existing artifact from disk alone —
+schema plus the segment-conservation crosscheck (every kept trace's
+segments must sum to its end-to-end latency).  Tamper with a single
+segment and it exits nonzero; CI relies on that.
+
+Exit status: ``0`` all claims hold, the artifact passes its schema and
+conservation, and no ``--strict`` SLO is violated; ``1`` a claim
+failed, the schema or a conservation crosscheck failed, or a
+``--strict`` SLO burned; ``2`` usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.xray import campaign as _campaign
+
+
+def _parse_counts(text: str) -> List[int]:
+    return [int(part) for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="crossover-xray",
+        description="Deterministic fleet-scale request tracing: per-request "
+                    "segment vectors, critical-path tail attribution, "
+                    "histogram exemplars.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="traffic/plan/sampling seed "
+                             "(default: %(default)s)")
+    parser.add_argument("--tenants", default=None, metavar="N,N,...",
+                        help="comma-separated tenant counts to sweep "
+                             "(default: 10,100,1000)")
+    parser.add_argument("--horizon-ms", type=float, default=None,
+                        metavar="MS",
+                        help="modeled replay horizon per cell in modeled "
+                             "milliseconds (default: 10)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="parallel pool workers (default: one per CPU; "
+                             "the artifact is identical at any count)")
+    parser.add_argument("--churn-every", type=int, default=None, metavar="N",
+                        help="revoke + recreate one callee world every N "
+                             "completed requests (0 disables; default: 500)")
+    parser.add_argument("--cores", type=int, default=None,
+                        help="modeled core-pool width (default: 16)")
+    parser.add_argument("--rate-scale", type=float, default=1.0,
+                        help="multiply every tenant's request rate "
+                             "(default: %(default)s)")
+    parser.add_argument("--sample-every", type=int, default=None, metavar="N",
+                        help="keep full segment vectors for 1-in-N trace ids "
+                             "(seeded hash; default: 16)")
+    parser.add_argument("--keep", type=int, default=None, metavar="N",
+                        help="top-latency sampled traces kept per cell "
+                             "(exemplar-referenced traces pinned on top; "
+                             "default: 24)")
+    parser.add_argument("--out", default=None, metavar="FILE",
+                        help="write the crossover-xray/v1 artifact here")
+    parser.add_argument("--trace-out", default=None, metavar="FILE",
+                        help="write a Perfetto/Chrome trace of the sampled "
+                             "requests (modeled-cycle axis) here")
+    parser.add_argument("--check", default=None, metavar="FILE",
+                        help="re-verify an existing artifact (schema + "
+                             "conservation crosscheck) instead of running "
+                             "the sweep")
+    parser.add_argument("--slo", action="append", default=[],
+                        metavar="EXPR",
+                        help="SLO objective ('<series>.<stat> <op> <value>') "
+                             "evaluated over each top-count cell's windows "
+                             "with exemplar-derived top_cause attribution; "
+                             "repeatable")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero when any --slo objective is "
+                             "violated")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the report printout")
+    return parser
+
+
+def _verify(artifact: Dict[str, Any], label: str) -> List[str]:
+    """Schema + conservation crosscheck on a finished artifact;
+    returns error strings (empty when clean)."""
+    from repro.telemetry.schema import load_schema, validate
+    from repro.xray.trace import check_traces
+
+    errors = [f"schema violation: {error}"
+              for error in validate(artifact, load_schema("xray"))]
+    for key in sorted(artifact.get("cells", {})):
+        verdict = check_traces(artifact["cells"][key]["xray"])
+        if not verdict["ok"]:
+            errors.append(
+                f"conservation violated in cell {key}: "
+                f"segments != latency for {verdict['mismatches']}")
+    if not errors and not artifact.get("conservation", {}).get("ok", False):
+        errors.append("conservation rollup not ok")
+    del label
+    return errors
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.check is not None:
+        try:
+            with open(args.check, encoding="utf-8") as stream:
+                artifact = json.load(stream)
+        except (OSError, ValueError) as error:
+            print(f"crossover-xray: cannot read {args.check}: {error}",
+                  file=sys.stderr)
+            return 2
+        errors = _verify(artifact, args.check)
+        for error in errors:
+            print(f"crossover-xray: {error}", file=sys.stderr)
+        if not args.quiet:
+            verdict = "ok" if not errors else "FAIL"
+            print(f"{args.check}: {verdict} "
+                  f"({artifact.get('conservation', {}).get('checked', 0)} "
+                  f"traces crosschecked)")
+        return 1 if errors else 0
+
+    try:
+        counts = (_parse_counts(args.tenants) if args.tenants
+                  else list(_campaign.TENANT_SWEEP))
+    except ValueError:
+        print(f"crossover-xray: bad --tenants {args.tenants!r}",
+              file=sys.stderr)
+        return 2
+    if not counts or min(counts) < 1:
+        print("crossover-xray: tenant counts must be positive",
+              file=sys.stderr)
+        return 2
+    horizon_ms = (args.horizon_ms if args.horizon_ms is not None
+                  else _campaign.DEFAULT_HORIZON_MS)
+    if horizon_ms <= 0:
+        print("crossover-xray: --horizon-ms must be positive",
+              file=sys.stderr)
+        return 2
+    churn = (args.churn_every if args.churn_every is not None
+             else _campaign.DEFAULT_CHURN_EVERY)
+    sample_every = (args.sample_every if args.sample_every is not None
+                    else _campaign.DEFAULT_SAMPLE_EVERY)
+    keep = args.keep if args.keep is not None else _campaign.DEFAULT_KEEP
+    if churn < 0 or (args.cores is not None and args.cores < 1) \
+            or args.rate_scale <= 0 or sample_every < 1 or keep < 1:
+        print("crossover-xray: bad --churn-every/--cores/--rate-scale/"
+              "--sample-every/--keep", file=sys.stderr)
+        return 2
+
+    from repro.observatory.slo import SloObjective, evaluate_slos
+    try:
+        objectives = [SloObjective.parse(text) for text in args.slo]
+    except ValueError as error:
+        print(f"crossover-xray: {error}", file=sys.stderr)
+        return 2
+
+    from repro.fleet.scheduler import DEFAULT_CORES
+    artifact = _campaign.run_campaign(
+        seed=args.seed, tenant_counts=counts, horizon_ms=horizon_ms,
+        workers=args.workers, churn_every=churn,
+        cores=args.cores if args.cores is not None else DEFAULT_CORES,
+        rate_scale=args.rate_scale, sample_every=sample_every, keep=keep)
+
+    slo_violated = False
+    if objectives:
+        top = max(counts)
+        slo_report = {}
+        for mechanism in artifact["mechanisms"]:
+            cell = artifact["cells"][f"{mechanism}@{top}"]
+            causes = {int(index): cause["segment"]
+                      for index, cause
+                      in cell["xray"].get("window_causes", {}).items()}
+            report = evaluate_slos(objectives, cell["windows"],
+                                   causes=causes)
+            slo_report[f"{mechanism}@{top}"] = report
+            slo_violated = slo_violated or report["violated"]
+        artifact["slo"] = slo_report
+
+    from repro.xray import explain
+    if not args.quiet:
+        print(explain.render_report(artifact))
+
+    errors = _verify(artifact, "artifact")
+    for error in errors:
+        print(f"crossover-xray: {error}", file=sys.stderr)
+
+    if args.out:
+        _campaign.write_artifact(artifact, args.out)
+        if not args.quiet:
+            print(f"wrote {args.out}")
+    if args.trace_out:
+        from repro.xray.export import chrome_trace_from_artifact
+        trace = chrome_trace_from_artifact(artifact)
+        with open(args.trace_out, "w", encoding="utf-8") as stream:
+            json.dump(trace, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.trace_out}")
+
+    failed = [name for name, ok in artifact["summary"].items() if not ok]
+    for name in failed:
+        print(f"crossover-xray: claim failed: {name}", file=sys.stderr)
+    if slo_violated:
+        print("crossover-xray: SLO violated", file=sys.stderr)
+    if failed or errors:
+        return 1
+    return 1 if (slo_violated and args.strict) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

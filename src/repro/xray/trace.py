@@ -1,0 +1,349 @@
+"""Request-scoped traces on the modeled-cycle clock.
+
+One traced request carries a stable id ``t<tenant>#<seq>`` and a
+segment vector — every modeled cycle between arrival and completion
+attributed to exactly one of :data:`SEGMENTS`:
+
+========== ==========================================================
+segment    meaning
+========== ==========================================================
+queue_wait arrival -> dispatch (per-tenant queue + core-pool wait)
+hv_wait    blocked on the serialized hypervisor resource (baseline)
+wt_refill  WT/IWT refill after a revocation (miss penalty)
+wakeup     parked switchless worker wakeup (cold call)
+marshal    parameter marshaling/encoding half of the issue stage
+transition transition-core transport (issue minus marshal)
+handler    callee handler body + local (non-call) stage work
+return     callee -> caller return transport
+========== ==========================================================
+
+``hv_wait`` is root-cause attributed: it counts the direct
+transition-start waits *plus* the share of dispatch-queue time that
+elapsed while the serialized hypervisor was running other tenants'
+transitions.  At baseline saturation a tail request's own direct wait
+is bounded by the handful of in-flight transitions — the bulk of its
+latency accrues queued behind cores whose holders are hv-blocked, and
+the serialized hypervisor is the resource actually throttling the
+core pool.  The split is exact and deterministic: the scheduler marks
+the cumulative ``hv_busy`` counter at arrival and at grant, and
+``min(queue cycles, hv busy delta)`` moves from ``queue_wait`` into
+``hv_wait``.  Mechanisms that never touch the hypervisor have a zero
+delta, so their queue time stays queue time.
+
+The conservation invariant — ``sum(segments) == end-to-end latency``
+for **every** request — is checked at commit time and again by the
+CLI from the artifact alone (exit nonzero on mismatch), mirroring the
+observatory's window-conservation crosscheck.
+
+``queue_wait`` and ``hv_wait`` are *contention* (time spent waiting on
+a shared resource another request holds); everything else is *self*
+time the request would pay on an idle fleet.  That split is the
+critical-path decomposition the tail explainer aggregates.
+
+Sampling is a seeded hash of the trace id — never ``random`` or
+wall-clock — so the sampled set is a pure function of ``(seed, id)``
+and the artifact stays byte-identical at any pool-worker count and
+scheduler lane width.  Aggregates (per-stage, per-tenant) accumulate
+over *all* requests exactly; only full segment vectors are restricted
+to sampled traces.
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Any, Dict, List, Optional
+
+#: Canonical segment order (indices below match positions here).
+SEGMENTS = ("queue_wait", "hv_wait", "wt_refill", "wakeup", "marshal",
+            "transition", "handler", "return")
+
+QUEUE, HV, REFILL, WAKEUP, MARSHAL, TRANSITION, HANDLER, RETURN = range(8)
+
+#: Segment indices counted as contention (vs self) time.
+CONTENTION = (QUEUE, HV)
+
+#: Default deterministic sampling period (1 in N trace ids).
+DEFAULT_SAMPLE_EVERY = 16
+
+#: Default bound on full traces kept in an artifact (top-latency
+#: sampled traces; exemplar-referenced traces are pinned on top).
+DEFAULT_KEEP = 24
+
+
+def trace_id(tenant: int, seq: int) -> str:
+    """The stable request id: tenant index + per-tenant sequence."""
+    return f"t{tenant}#{seq}"
+
+
+def is_sampled(seed: int, tid: str, sample_every: int) -> bool:
+    """Seeded-hash sampling decision — a pure function of the id."""
+    if sample_every <= 1:
+        return True
+    digest = blake2b(f"{seed}:{tid}".encode(), digest_size=8,
+                     person=b"xray-smp").digest()
+    return int.from_bytes(digest, "big") % sample_every == 0
+
+
+class TraceState:
+    """Mutable per-request accounting the scheduler threads along."""
+
+    __slots__ = ("tenant", "seq", "arrival", "grant", "segs",
+                 "hv_busy0", "hv_busyg")
+
+    def __init__(self, tenant: int, seq: int, arrival: int) -> None:
+        self.tenant = tenant
+        self.seq = seq
+        self.arrival = arrival
+        self.grant: Optional[int] = None
+        self.segs = [0] * len(SEGMENTS)
+        #: Scheduler ``hv_busy`` marks at arrival / at grant, for the
+        #: root-cause split of queue time (see module docstring).
+        self.hv_busy0 = 0
+        self.hv_busyg = 0
+
+
+def dominant_segment(segments: Dict[str, int]) -> str:
+    """The largest segment (first in canonical order on ties)."""
+    best = SEGMENTS[0]
+    best_cycles = segments.get(best, 0)
+    for name in SEGMENTS[1:]:
+        cycles = segments.get(name, 0)
+        if cycles > best_cycles:
+            best, best_cycles = name, cycles
+    return best
+
+
+class XrayRecorder:
+    """Per-run trace collection + exact critical-path aggregation.
+
+    One recorder serves one :class:`~repro.fleet.scheduler.
+    FleetScheduler` run.  ``begin`` hands the scheduler a
+    :class:`TraceState` per request; ``commit`` folds the finished
+    request into the aggregates, checks conservation, and returns the
+    trace id when the request is sampled (the scheduler uses that as
+    the histogram exemplar, so only replayable traces become
+    exemplars).
+    """
+
+    def __init__(self, seed: int = 0,
+                 sample_every: int = DEFAULT_SAMPLE_EVERY,
+                 keep: int = DEFAULT_KEEP) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.seed = seed
+        self.sample_every = sample_every
+        self.keep = keep
+        self.requests = 0
+        self.latency_sum = 0
+        self.traces_sampled = 0
+        self.per_stage = [0] * len(SEGMENTS)
+        #: tenant -> [requests, latency, contention suffered, caused]
+        self.tenants: Dict[int, List[int]] = {}
+        self._seqs: Dict[int, int] = {}
+        #: sampled trace id -> full trace dict.
+        self._traces: Dict[str, Dict[str, Any]] = {}
+        self.conservation_checked = 0
+        self.conservation_mismatches: List[str] = []
+
+    # -- scheduler-facing ---------------------------------------------
+
+    def begin(self, tenant: int, arrival: int) -> TraceState:
+        seq = self._seqs.get(tenant, 0)
+        self._seqs[tenant] = seq + 1
+        return TraceState(tenant, seq, arrival)
+
+    def hv_blame(self, holder: int, victim: int, wait: int) -> None:
+        """``victim`` waited ``wait`` cycles behind ``holder``'s
+        transition on the serialized hypervisor — charge the holder
+        (the noisy-neighbor signal)."""
+        if holder == victim:
+            return
+        self._tenant(holder)[3] += wait
+
+    def commit(self, state: TraceState, end: int) -> Optional[str]:
+        """Fold one finished request in; returns its trace id when
+        sampled (else None)."""
+        segs = state.segs
+        grant = state.grant if state.grant is not None else end
+        queued = grant - state.arrival
+        hv_share = min(queued, max(0, state.hv_busyg - state.hv_busy0))
+        segs[QUEUE] = queued - hv_share
+        segs[HV] += hv_share
+        latency = end - state.arrival
+        tid = trace_id(state.tenant, state.seq)
+        self.requests += 1
+        self.latency_sum += latency
+        for i, cycles in enumerate(segs):
+            self.per_stage[i] += cycles
+        contention = segs[QUEUE] + segs[HV]
+        row = self._tenant(state.tenant)
+        row[0] += 1
+        row[1] += latency
+        row[2] += contention
+        self.conservation_checked += 1
+        if sum(segs) != latency:
+            self.conservation_mismatches.append(tid)
+        if not is_sampled(self.seed, tid, self.sample_every):
+            return None
+        self.traces_sampled += 1
+        segments = {name: segs[i] for i, name in enumerate(SEGMENTS)}
+        self._traces[tid] = {
+            "id": tid,
+            "tenant": state.tenant,
+            "seq": state.seq,
+            "arrival": state.arrival,
+            "end": end,
+            "latency": latency,
+            "segments": segments,
+            "contention_cycles": contention,
+            "self_cycles": latency - contention,
+            "dominant_segment": dominant_segment(segments),
+        }
+        return tid
+
+    def _tenant(self, tenant: int) -> List[int]:
+        row = self.tenants.get(tenant)
+        if row is None:
+            row = self.tenants[tenant] = [0, 0, 0, 0]
+        return row
+
+    # -- export -------------------------------------------------------
+
+    def trace(self, tid: str) -> Optional[Dict[str, Any]]:
+        return self._traces.get(tid)
+
+    def p99_trace_id(self, p99: Optional[float]) -> Optional[str]:
+        """The sampled trace nearest the run's p99 latency — the
+        concrete request the tail explainer dissects."""
+        if p99 is None or not self._traces:
+            return None
+        return min(self._traces,
+                   key=lambda tid: (abs(self._traces[tid]["latency"] - p99),
+                                    self._traces[tid]["latency"], tid))
+
+    def window_causes(self, windows: List[Dict[str, Any]],
+                      series: str = "fleet.latency.cycles"
+                      ) -> Dict[str, Dict[str, str]]:
+        """Window index -> dominant segment of the window's tail
+        exemplar (highest populated exemplar bucket) — the attribution
+        map SLO alerts consume as ``top_cause``."""
+        causes: Dict[str, Dict[str, str]] = {}
+        for window in windows:
+            exemplars = window.get("histograms", {}).get(
+                series, {}).get("exemplars")
+            if not exemplars:
+                continue
+            top = max(exemplars, key=int)
+            tid = exemplars[top]["trace_id"]
+            trace = self._traces.get(tid)
+            if trace is None:
+                continue
+            causes[str(window["index"])] = {
+                "trace_id": tid,
+                "segment": trace["dominant_segment"],
+            }
+        return causes
+
+    def noisy_neighbors(self, top: int = 8) -> List[Dict[str, Any]]:
+        """Per-tenant contention attribution, worst offenders first.
+
+        ``caused_share`` (fraction of all hypervisor-wait cycles this
+        tenant inflicted on others) against ``traffic_share`` (its
+        fraction of requests): a tenant whose caused share dwarfs its
+        traffic share is the noisy neighbor.
+        """
+        total_caused = sum(row[3] for row in self.tenants.values())
+        total_requests = self.requests
+        rows = []
+        for tenant in sorted(self.tenants):
+            requests, latency, suffered, caused = self.tenants[tenant]
+            rows.append({
+                "tenant": tenant,
+                "requests": requests,
+                "traffic_share": round(requests / total_requests, 6)
+                if total_requests else 0.0,
+                "contention_cycles": suffered,
+                "caused_cycles": caused,
+                "caused_share": round(caused / total_caused, 6)
+                if total_caused else 0.0,
+            })
+        rows.sort(key=lambda r: (-r["caused_cycles"],
+                                 -r["contention_cycles"], r["tenant"]))
+        return rows[:top]
+
+    def to_dict(self, p99: Optional[float] = None,
+                exemplars: Optional[Dict[str, Dict[str, Any]]] = None,
+                windows: Optional[List[Dict[str, Any]]] = None
+                ) -> Dict[str, Any]:
+        """The recorder's plain-data payload for one cell.
+
+        ``exemplars`` is the run-total latency histogram's exemplar
+        map (bucket -> trace id/value); ids it references are pinned
+        into the kept-trace list alongside the top-latency sampled
+        traces and the p99 exemplar, so every id the artifact mentions
+        resolves to a full segment vector.  Caps are declared
+        (``traces_sampled`` vs ``traces_kept``), never silent.
+        """
+        exemplars = exemplars or {}
+        ranked = sorted(self._traces,
+                        key=lambda tid: (-self._traces[tid]["latency"],
+                                         tid))
+        pinned = {exm["trace_id"] for exm in exemplars.values()}
+        p99_tid = self.p99_trace_id(p99)
+        if p99_tid is not None:
+            pinned.add(p99_tid)
+        keep = [tid for tid in ranked[:self.keep]]
+        kept = set(keep)
+        for tid in sorted(pinned):
+            if tid not in kept and tid in self._traces:
+                keep.append(tid)
+                kept.add(tid)
+        traces = sorted((self._traces[tid] for tid in keep),
+                        key=lambda t: (-t["latency"], t["id"]))
+        contention = sum(self.per_stage[i] for i in CONTENTION)
+        payload: Dict[str, Any] = {
+            "seed": self.seed,
+            "sample_every": self.sample_every,
+            "requests": self.requests,
+            "latency_cycles": self.latency_sum,
+            "traces_sampled": self.traces_sampled,
+            "traces_kept": len(traces),
+            "per_stage": {name: self.per_stage[i]
+                          for i, name in enumerate(SEGMENTS)},
+            "contention_cycles": contention,
+            "self_cycles": self.latency_sum - contention,
+            "conservation": {
+                "checked": self.conservation_checked,
+                "mismatches": list(self.conservation_mismatches),
+                "ok": not self.conservation_mismatches,
+            },
+            "exemplars": exemplars,
+            "p99_exemplar": (self._traces[p99_tid]
+                             if p99_tid is not None else None),
+            "traces": traces,
+            "noisy_neighbors": self.noisy_neighbors(),
+        }
+        if windows is not None:
+            payload["window_causes"] = self.window_causes(windows)
+        return payload
+
+
+def check_traces(cell_xray: Dict[str, Any]) -> Dict[str, Any]:
+    """Re-verify conservation from artifact data alone: every kept
+    trace's segments must sum to its latency, and the recorder's own
+    commit-time check must have passed.  This is what the CLI runs on
+    a finished artifact (tamper with one segment and it exits
+    nonzero)."""
+    mismatches = list(cell_xray.get("conservation", {})
+                      .get("mismatches", []))
+    checked = 0
+    for trace in cell_xray.get("traces", []):
+        checked += 1
+        if sum(trace["segments"].values()) != trace["latency"]:
+            mismatches.append(trace["id"])
+    ok = (not mismatches
+          and cell_xray.get("conservation", {}).get("ok", False))
+    return {"checked": checked, "mismatches": sorted(set(mismatches)),
+            "ok": ok}

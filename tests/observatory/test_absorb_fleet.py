@@ -1,0 +1,121 @@
+"""``Observatory.absorb_fleet`` edge cases: empty fleet runs, bucket
+ladder changes across fleet windows, absorb after ``reset()``, and the
+xray-exemplar timeline pinning."""
+
+import pytest
+
+from repro.observatory import Observatory
+
+
+def _fleet_window(index, counters=None, histograms=None):
+    return {
+        "index": index,
+        "start_cycles": index * 1000,
+        "cycles": 1000,
+        "counters": counters if counters is not None else {},
+        "gauges": {},
+        "histograms": histograms if histograms is not None else {},
+        "subsystems": {},
+    }
+
+
+def _fleet_hist(bounds, counts, total, exemplars=None):
+    out = {
+        "bounds": list(bounds), "counts": list(counts),
+        "count": sum(counts), "sum": total, "overflow": 0,
+        "max": None, "p50": 1.0, "p90": 1.0, "p99": 1.0, "p999": 1.0,
+    }
+    if exemplars is not None:
+        out["exemplars"] = exemplars
+    return out
+
+
+def _fleet_result(windows, tenants=10, mechanism="baseline"):
+    return {"tenants": tenants, "mechanism": mechanism, "seed": 0,
+            "interleave": 1, "windows": windows}
+
+
+class TestAbsorbFleet:
+    def test_empty_run_absorbs_to_trivially_consistent_cell(self):
+        obs = Observatory()
+        obs.absorb_fleet(_fleet_result([]))
+        cell = obs.cells[0]
+        assert cell["windows"] == []
+        assert cell["events"] == []
+        assert cell["totals"] == {}
+        assert cell["clock"] == 0
+        assert cell["crosscheck"]["ok"]
+        assert cell["runner"] == "fleetcell"
+        assert cell["args"][:2] == [10, "baseline"]
+
+    def test_counters_sum_into_totals_and_crosscheck(self):
+        obs = Observatory()
+        obs.absorb_fleet(_fleet_result([
+            _fleet_window(0, counters={"fleet.completed": 3}),
+            _fleet_window(1, counters={"fleet.completed": 4}),
+        ]))
+        cell = obs.cells[0]
+        assert cell["totals"] == {"fleet.completed": 7}
+        assert cell["crosscheck"]["ok"]
+        assert cell["clock"] == 2000
+
+    def test_bucket_ladder_change_across_windows_raises(self):
+        obs = Observatory()
+        result = _fleet_result([
+            _fleet_window(0, histograms={
+                "fleet.latency.cycles": _fleet_hist((10, 100), (1, 0),
+                                                    5)}),
+            _fleet_window(1, histograms={
+                "fleet.latency.cycles": _fleet_hist((10, 200), (1, 0),
+                                                    5)}),
+        ])
+        with pytest.raises(ValueError, match="changed bucket ladder"):
+            obs.absorb_fleet(result)
+
+    def test_exemplars_pin_top_bucket_to_timeline(self):
+        obs = Observatory()
+        obs.absorb_fleet(_fleet_result([
+            _fleet_window(2, histograms={"fleet.latency.cycles":
+                _fleet_hist((10, 100), (1, 1), 60, exemplars={
+                    "0": {"trace_id": "t0#0", "value": 8},
+                    "1": {"trace_id": "t3#7", "value": 52},
+                })}),
+        ]))
+        events = obs.cells[0]["events"]
+        assert len(events) == 1
+        event = events[0]
+        assert event["kind"] == "xray.exemplar"
+        # the highest populated bucket wins: the tail exemplar
+        assert event["label"] == "t3#7"
+        assert "bucket 1" in event["detail"]
+        assert event["window"] == 2
+        assert event["cycles"] == 2000
+
+    def test_windows_without_exemplars_pin_nothing(self):
+        obs = Observatory()
+        obs.absorb_fleet(_fleet_result([
+            _fleet_window(0, histograms={"fleet.latency.cycles":
+                _fleet_hist((10, 100), (2, 0), 12)}),
+        ]))
+        assert obs.cells[0]["events"] == []
+
+
+class TestAbsorbAfterReset:
+    def test_reset_drops_cells_then_reabsorbs(self):
+        obs = Observatory()
+        obs.absorb_fleet(_fleet_result([
+            _fleet_window(0, counters={"fleet.completed": 1})]))
+        assert len(obs.cells) == 1
+        obs.reset()
+        assert obs.cells == []
+        assert obs.clock == 0
+        obs.absorb_fleet(_fleet_result([
+            _fleet_window(0, counters={"fleet.completed": 2})],
+            mechanism="world_call"))
+        assert len(obs.cells) == 1
+        cell = obs.cells[0]
+        assert cell["totals"] == {"fleet.completed": 2}
+        assert cell["crosscheck"]["ok"]
+        payload = obs.to_dict()
+        assert payload["cells"][0]["args"][1] == "world_call"
+        assert payload["crosscheck"]["ok"]

@@ -153,6 +153,39 @@ class TestBurnRate:
         assert high["worst"] == 3.0
 
 
+class TestTopCause:
+    def _burn(self, causes):
+        # Sustained burn starting at window 4 fires at window 5 (see
+        # TestBurnRate.test_sustained_burn_fires_once_on_the_rising_edge).
+        obj = SloObjective("lat", "sum", "<", 5.0, short=4, long=16,
+                          fast_burn=0.5, slow_burn=0.25)
+        windows = [_window(i, counters={"lat": 10 if i >= 4 else 1})
+                   for i in range(16)]
+        return obj.evaluate(windows, causes=causes)
+
+    def test_alert_names_the_windows_contention_cause(self):
+        result = self._burn({5: "hv_wait", 9: "queue_wait"})
+        alert = result["alerts"][0]
+        assert alert["window"] == 5
+        assert alert["top_cause"] == "hv_wait"
+
+    def test_absent_cause_omits_the_key(self):
+        result = self._burn({9: "hv_wait"})
+        assert "top_cause" not in result["alerts"][0]
+
+    def test_no_causes_map_keeps_legacy_shape(self):
+        result = self._burn(None)
+        assert "top_cause" not in result["alerts"][0]
+
+    def test_evaluate_slos_threads_causes_through(self):
+        windows = [_window(i, counters={"lat": 10}) for i in range(8)]
+        report = evaluate_slos(["lat.sum < 5"], windows,
+                               causes={i: "hv_wait" for i in range(8)})
+        alerts = report["objectives"][0]["alerts"]
+        assert alerts and all(a["top_cause"] == "hv_wait"
+                              for a in alerts)
+
+
 class TestEvaluateSlos:
     def test_summary_counts_alerts_and_violations(self):
         windows = [_window(i, counters={"lat": 10}) for i in range(8)]

@@ -90,6 +90,36 @@ class TestWindowStore:
         # counter conservation still holds.
         assert sum(w["counters"]["c"] for w in windows) == 3
 
+    def test_clip_counts_into_folded_window_and_pins_one_event(self):
+        from repro.observatory.store import CLIP_COUNTER
+        store = WindowStore(100, max_windows=2)
+        store.record(0, 100, {"c": 1}, {}, {}, {})
+        store.record(1, 100, {"c": 1}, {}, {}, {})
+        store.record(5, 100, {"c": 1}, {}, {}, {})
+        store.record(6, 100, {"c": 1}, {}, {}, {})
+        assert store.clipped == 2
+        folded = store.to_windows()[-1]
+        # Each fold bumps the counter in the window it folded into...
+        assert folded["counters"][CLIP_COUNTER] == 2
+        # ...and only the first fold pins a timeline event, placed at
+        # the fold target on the modeled clock.
+        clips = [e for e in store.to_events()
+                 if e["kind"] == "observatory.clip"]
+        assert len(clips) == 1
+        assert clips[0]["window"] == 1
+        assert "window cap 2 reached" in clips[0]["detail"]
+
+    def test_unclipped_store_has_no_clip_artifacts(self):
+        store = WindowStore(100, max_windows=2)
+        store.record(0, 100, {"c": 1}, {}, {}, {})
+        store.record(1, 100, {"c": 1}, {}, {}, {})
+        assert store.clipped == 0
+        assert all("observatory.clip" != e["kind"]
+                   for e in store.to_events())
+        from repro.observatory.store import CLIP_COUNTER
+        assert all(CLIP_COUNTER not in w["counters"]
+                   for w in store.to_windows())
+
 
 class TestCrosscheck:
     def _payload(self, deltas, baseline, totals):

@@ -178,3 +178,59 @@ class TestSnapshot:
         with pytest.raises(ValueError) as exc:
             reg.merge_snapshot(corrupt)
         assert "no buckets" in str(exc.value)
+
+
+class TestExemplars:
+    def test_observe_attaches_exemplar_to_bucket(self):
+        from repro.telemetry.registry import MetricsRegistry
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat", buckets=(10, 100))
+        hist.observe(5, exemplar="t0#0")
+        hist.observe(50, exemplar="t1#0")
+        hist.observe(500)                  # overflow, no exemplar
+        exemplars = reg.snapshot()["histograms"]["lat"]["exemplars"]
+        assert exemplars["0"]["trace_id"] == "t0#0"
+        assert exemplars["1"] == {"trace_id": "t1#0", "value": 50}
+        assert "2" not in exemplars
+
+    def test_plain_histograms_skip_the_key(self):
+        from repro.telemetry.registry import MetricsRegistry
+        reg = MetricsRegistry()
+        reg.histogram("lat", buckets=(10,)).observe(5)
+        assert "exemplars" not in reg.snapshot()["histograms"]["lat"]
+
+    def test_hash_max_selection_is_order_independent(self):
+        from repro.telemetry.registry import MetricsRegistry
+        ids = [f"t{i}#0" for i in range(8)]
+        winners = []
+        for ordering in (ids, list(reversed(ids))):
+            reg = MetricsRegistry()
+            hist = reg.histogram("lat", buckets=(10,))
+            for tid in ordering:
+                hist.observe(1, exemplar=tid)
+            winners.append(
+                reg.snapshot()["histograms"]["lat"]["exemplars"]["0"])
+        assert winners[0] == winners[1]
+
+    def test_merge_snapshot_is_commutative(self):
+        from repro.telemetry.registry import MetricsRegistry
+
+        def snap(tid, value):
+            reg = MetricsRegistry()
+            reg.histogram("lat", buckets=(10,)).observe(
+                value, exemplar=tid)
+            return reg.snapshot()
+
+        a, b = snap("t0#0", 1), snap("t1#0", 2)
+        ab = MetricsRegistry()
+        ab.merge_snapshot(a)
+        ab.merge_snapshot(b)
+        ba = MetricsRegistry()
+        ba.merge_snapshot(b)
+        ba.merge_snapshot(a)
+        assert ab.snapshot() == ba.snapshot()
+
+    def test_exemplar_rank_is_stable(self):
+        from repro.telemetry.registry import exemplar_rank
+        assert exemplar_rank("t0#0") == exemplar_rank("t0#0")
+        assert exemplar_rank("t0#0") != exemplar_rank("t0#1")

@@ -1,0 +1,115 @@
+"""The crossover-xray campaign, CLI, schema, exporters and trajectory
+ingestion, on a small saturating sweep."""
+
+import json
+
+import pytest
+
+from repro.telemetry.schema import load_schema, validate
+from repro.xray import campaign
+from repro.xray.cli import main as cli_main
+from repro.xray.explain import render_report
+from repro.xray.export import chrome_trace_from_artifact
+
+
+@pytest.fixture(scope="module")
+def artifact():
+    # Small but saturating: 8x rates push the serialized baseline past
+    # its hypervisor ceiling even at 50 tenants (the CI smoke shape).
+    return campaign.run_campaign(tenant_counts=(10, 50), horizon_ms=5,
+                                 rate_scale=8.0, churn_every=100,
+                                 workers=1)
+
+
+class TestCampaign:
+    def test_all_claims_hold(self, artifact):
+        assert all(artifact["summary"].values()), artifact["summary"]
+
+    def test_schema_valid(self, artifact):
+        assert validate(artifact, load_schema("xray")) == []
+
+    def test_worker_count_invariance(self, artifact):
+        again = campaign.run_campaign(tenant_counts=(10, 50),
+                                      horizon_ms=5, rate_scale=8.0,
+                                      churn_every=100, workers=2)
+        assert json.dumps(again, sort_keys=True) \
+            == json.dumps(artifact, sort_keys=True)
+
+    def test_tail_reproduces_the_fleet_story(self, artifact):
+        rows = {row["mechanism"]: row for row in artifact["tail"]}
+        assert rows["baseline"]["dominant_segment"] == "hv_wait"
+        for mechanism in ("world_call", "switchless"):
+            assert rows[mechanism]["per_stage"]["hv_wait"] == 0
+
+    def test_lane_sweep_covers_all_widths(self, artifact):
+        assert sorted(artifact["lane_sweep"]["cells"]) == ["1", "2", "4"]
+        assert artifact["lane_sweep"]["trace_identical"]
+
+    def test_telemetry_counts_sampled_traces(self, artifact):
+        assert artifact["telemetry"]["fleet.xray_traces_sampled"] > 0
+
+    def test_report_renders(self, artifact):
+        text = render_report(artifact)
+        assert "Tail explainer" in text
+        assert "Noisy neighbors" in text
+        assert "hv_wait" in text
+
+    def test_chrome_export_is_valid_and_tiled(self, artifact):
+        trace = chrome_trace_from_artifact(artifact)
+        assert validate(trace, load_schema("chrome_trace")) == []
+        spans = [e for e in trace["traceEvents"]
+                 if e.get("cat") == "xray.segment"]
+        assert spans
+        trace_one = chrome_trace_from_artifact(
+            artifact, cells=["baseline@50"])
+        names = {e["args"]["name"] for e in trace_one["traceEvents"]
+                 if e["ph"] == "M"}
+        assert names == {"baseline@50"}
+        with pytest.raises(KeyError):
+            chrome_trace_from_artifact(artifact, cells=["nope@1"])
+
+    def test_bad_args_raise(self):
+        with pytest.raises(ValueError):
+            campaign.run_campaign(tenant_counts=())
+        with pytest.raises(ValueError):
+            campaign.run_campaign(tenant_counts=(10,), sample_every=0)
+
+
+class TestTrajectoryIngestion:
+    def test_series_extracted(self, artifact):
+        from repro.analysis.trajectory import extract_series
+        series = extract_series(artifact)
+        assert series["xray.traces_sampled"]["value"] > 0
+        assert series["xray.conservation_ok"]["value"] == 1
+        share = series["xray.p99_contention_share"]
+        assert 0 < share["value"] <= 1
+        assert share["direction"] == "lower"
+
+
+class TestCli:
+    def test_out_check_roundtrip_and_tamper(self, artifact, tmp_path):
+        path = tmp_path / "xray.json"
+        campaign.write_artifact(artifact, str(path))
+        assert cli_main(["--check", str(path), "--quiet"]) == 0
+        tampered = json.loads(path.read_text())
+        key = sorted(tampered["cells"])[0]
+        tampered["cells"][key]["xray"]["traces"][0]["segments"][
+            "handler"] += 1
+        bad = tmp_path / "tampered.json"
+        bad.write_text(json.dumps(tampered))
+        assert cli_main(["--check", str(bad), "--quiet"]) == 1
+
+    def test_check_unreadable_is_usage_error(self, tmp_path):
+        assert cli_main(["--check", str(tmp_path / "missing.json"),
+                         "--quiet"]) == 2
+
+    @pytest.mark.parametrize("argv", [
+        ["--tenants", "0"],
+        ["--tenants", "nope"],
+        ["--horizon-ms", "0"],
+        ["--sample-every", "0"],
+        ["--keep", "0"],
+        ["--slo", "not an objective"],
+    ])
+    def test_bad_usage_exits_2(self, argv):
+        assert cli_main(argv + ["--quiet"]) == 2

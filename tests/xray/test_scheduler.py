@@ -1,0 +1,117 @@
+"""XrayRecorder threaded through the fleet scheduler: conservation by
+construction, dormant bit-identity, lane-width trace identity, and the
+marshal-cycles attribution split."""
+
+import json
+
+from repro.fleet import traffic
+from repro.fleet.scheduler import (MECHANISMS, FleetScheduler,
+                                   MechanismCosts, calibrate_costs)
+from repro.xray.trace import XrayRecorder
+
+
+def model_costs(mechanism, *, serialized=False, cold=0, marshal=0):
+    return MechanismCosts(
+        mechanism=mechanism, total_cycles=600, service_cycles=100,
+        issue_cycles=250, return_cycles=250, cold_extra_cycles=cold,
+        miss_penalty_cycles=5_000, serialized=serialized,
+        marshal_cycles=marshal)
+
+
+def run_model(costs, *, tenants=20, seed=0, horizon=20_000_000,
+              rate_scale=50.0, recorder=None, **kwargs):
+    specs = traffic.tenant_plan(tenants, seed, rate_scale=rate_scale)
+    scheduler = FleetScheduler(specs, costs, seed=seed,
+                               horizon_cycles=horizon, xray=recorder,
+                               **kwargs)
+    return scheduler.run()
+
+
+def _strip_xray(result):
+    """The timing surface: result minus the xray payload and the
+    exemplar annotations the recorder adds to windows."""
+    out = json.loads(json.dumps(result))
+    out.pop("xray", None)
+    for window in out.get("windows", []):
+        for hist in window.get("histograms", {}).values():
+            hist.pop("exemplars", None)
+    return out
+
+
+class TestConservation:
+    def test_every_request_segments_sum_to_latency(self):
+        for mechanism, serialized in (("baseline", True),
+                                      ("world_call", False)):
+            recorder = XrayRecorder(sample_every=1)
+            result = run_model(model_costs(mechanism,
+                                           serialized=serialized),
+                               recorder=recorder)
+            xray = result["xray"]
+            assert xray["conservation"]["ok"]
+            assert xray["conservation"]["checked"] == result["completed"]
+            for trace in xray["traces"]:
+                assert sum(trace["segments"].values()) \
+                    == trace["latency"]
+
+    def test_per_stage_sums_to_total_latency(self):
+        recorder = XrayRecorder(sample_every=1)
+        result = run_model(model_costs("baseline", serialized=True),
+                           recorder=recorder)
+        xray = result["xray"]
+        assert sum(xray["per_stage"].values()) == xray["latency_cycles"]
+        assert xray["contention_cycles"] + xray["self_cycles"] \
+            == xray["latency_cycles"]
+
+
+class TestAttribution:
+    def test_serialized_mechanism_accrues_hv_wait(self):
+        recorder = XrayRecorder(sample_every=1)
+        result = run_model(model_costs("baseline", serialized=True),
+                           recorder=recorder)
+        assert result["xray"]["per_stage"]["hv_wait"] > 0
+
+    def test_unserialized_mechanism_has_zero_hv_wait(self):
+        recorder = XrayRecorder(sample_every=1)
+        result = run_model(model_costs("world_call"), recorder=recorder)
+        assert result["xray"]["per_stage"]["hv_wait"] == 0
+        assert all(row["caused_cycles"] == 0
+                   for row in result["xray"]["noisy_neighbors"])
+
+    def test_marshal_split_is_attribution_only(self):
+        plain = run_model(model_costs("world_call"))
+        recorder = XrayRecorder(sample_every=1)
+        split = run_model(model_costs("world_call", marshal=70),
+                          recorder=recorder)
+        xray = split["xray"]
+        assert xray["per_stage"]["marshal"] > 0
+        # same timing either way: marshal is a split of issue, not an
+        # extra cost
+        split_stripped = _strip_xray(split)
+        split_stripped["costs"]["marshal_cycles"] = 0
+        assert split_stripped == plain
+
+    def test_calibrated_marshal_bounded_by_issue(self):
+        for mechanism in MECHANISMS:
+            costs = calibrate_costs(mechanism)
+            assert 0 <= costs.marshal_cycles < costs.issue_cycles
+            assert costs.to_dict()["marshal_cycles"] \
+                == costs.marshal_cycles
+
+
+class TestDormantIdentity:
+    def test_recorder_on_only_adds_annotations(self):
+        costs = model_costs("baseline", serialized=True)
+        plain = run_model(costs)
+        recorder = XrayRecorder(sample_every=4)
+        traced = run_model(costs, recorder=recorder)
+        assert _strip_xray(traced) == plain
+
+    def test_lane_widths_commit_identical_traces(self):
+        costs = model_costs("baseline", serialized=True)
+        payloads = []
+        for width in (1, 2, 4):
+            recorder = XrayRecorder(sample_every=2)
+            result = run_model(costs, recorder=recorder,
+                               interleave=width)
+            payloads.append(json.dumps(result["xray"], sort_keys=True))
+        assert len(set(payloads)) == 1

@@ -1,0 +1,88 @@
+"""XraySession: single-machine trace-id minting and the core/call
+exemplar hook."""
+
+import pytest
+
+from repro import telemetry, xray
+
+
+class TestSession:
+    def test_edge_scoped_sequences(self):
+        session = xray.XraySession(sample_every=1)
+        assert session.call_exemplar(1, 2) == "wc:1->2#0"
+        assert session.call_exemplar(1, 2) == "wc:1->2#1"
+        assert session.call_exemplar(2, 1) == "wc:2->1#0"
+        assert session.stats() == {"issued": 3, "sampled": 3}
+
+    def test_unsampled_ids_return_none_but_count_issued(self):
+        session = xray.XraySession(sample_every=1 << 30)
+        assert session.call_exemplar(1, 2) is None
+        assert session.stats() == {"issued": 1, "sampled": 0}
+
+    def test_sampling_is_deterministic_across_sessions(self):
+        a = [xray.XraySession(seed=3).call_exemplar(1, 2)
+             for _ in range(1)]
+        b = [xray.XraySession(seed=3).call_exemplar(1, 2)
+             for _ in range(1)]
+        assert a == b
+
+    def test_rejects_bad_sample_every(self):
+        with pytest.raises(ValueError):
+            xray.XraySession(sample_every=0)
+
+
+class TestSwitch:
+    def test_install_uninstall(self):
+        assert not xray.enabled()
+        session = xray.install()
+        assert xray.current() is session
+        assert xray.uninstall() is session
+        assert xray.current() is None
+
+    def test_scoped_restores_previous(self):
+        outer = xray.install()
+        with xray.scoped(seed=9) as inner:
+            assert xray.current() is inner
+        assert xray.current() is outer
+        xray.uninstall()
+
+
+class TestCoreCallExemplars:
+    def _runtime(self, crossover_two_vms):
+        from repro.core.call import WorldCallRuntime
+        from repro.core.world import WorldRegistry
+        from repro.testbed import enter_vm_kernel
+        machine, vm1, k1, vm2, k2 = crossover_two_vms
+        registry = WorldRegistry(machine)
+        runtime = WorldCallRuntime(machine, registry)
+        enter_vm_kernel(machine, vm1)
+        caller = registry.create_kernel_world(k1)
+        enter_vm_kernel(machine, vm2)
+        callee = registry.create_kernel_world(
+            k2, handler=lambda request: "ok")
+        enter_vm_kernel(machine, vm1)
+        machine.cpu.write_cr3(k1.master_page_table)
+        return runtime, caller, callee
+
+    def test_sampled_calls_become_histogram_exemplars(
+            self, crossover_two_vms):
+        runtime, caller, callee = self._runtime(crossover_two_vms)
+        with telemetry.scoped("t") as session:
+            with xray.scoped(sample_every=1):
+                for _ in range(4):
+                    assert runtime.call(caller, callee.wid) == "ok"
+            snap = session.metrics.snapshot()
+        exemplars = snap["histograms"]["world_call.cycles"]["exemplars"]
+        assert exemplars
+        ids = {exm["trace_id"] for exm in exemplars.values()}
+        assert ids <= {f"wc:{caller.wid}->{callee.wid}#{i}"
+                       for i in range(4)}
+
+    def test_dormant_session_leaves_snapshot_unchanged(
+            self, crossover_two_vms):
+        runtime, caller, callee = self._runtime(crossover_two_vms)
+        with telemetry.scoped("t") as session:
+            for _ in range(4):
+                runtime.call(caller, callee.wid)
+            snap = session.metrics.snapshot()
+        assert "exemplars" not in snap["histograms"]["world_call.cycles"]

@@ -1,0 +1,197 @@
+"""Unit tests for trace sampling, segment conservation and the
+recorder's critical-path aggregation."""
+
+import pytest
+
+from repro.xray.trace import (HANDLER, HV, QUEUE, SEGMENTS, XrayRecorder,
+                              check_traces, dominant_segment, is_sampled,
+                              trace_id)
+
+
+def _finish(rec, tenant, arrival, grant, segs, end):
+    """begin + fill segments + commit one request."""
+    state = rec.begin(tenant, arrival)
+    state.grant = grant
+    for name, cycles in segs.items():
+        state.segs[SEGMENTS.index(name)] += cycles
+    return state, rec.commit(state, end)
+
+
+class TestSampling:
+    def test_pure_function_of_seed_and_id(self):
+        decisions = [is_sampled(7, f"t{i}#0", 4) for i in range(256)]
+        assert decisions == [is_sampled(7, f"t{i}#0", 4)
+                             for i in range(256)]
+        # roughly 1-in-4, and not degenerate
+        assert 32 <= sum(decisions) <= 96
+
+    def test_different_seed_different_set(self):
+        a = {i for i in range(256) if is_sampled(0, f"t{i}#0", 4)}
+        b = {i for i in range(256) if is_sampled(1, f"t{i}#0", 4)}
+        assert a != b
+
+    def test_sample_every_one_keeps_all(self):
+        assert all(is_sampled(0, f"t{i}#0", 1) for i in range(32))
+
+    def test_trace_id_is_tenant_and_seq(self):
+        assert trace_id(3, 17) == "t3#17"
+
+
+class TestDominantSegment:
+    def test_picks_largest(self):
+        assert dominant_segment({"queue_wait": 1, "handler": 9}) \
+            == "handler"
+
+    def test_tie_breaks_on_canonical_order(self):
+        assert dominant_segment({"hv_wait": 5, "handler": 5}) == "hv_wait"
+
+
+class TestRecorderCommit:
+    def test_queue_wait_is_grant_minus_arrival(self):
+        rec = XrayRecorder(sample_every=1)
+        state, tid = _finish(rec, 0, 100, 150, {"handler": 30}, 180)
+        assert tid == "t0#0"
+        trace = rec.trace(tid)
+        assert trace["segments"]["queue_wait"] == 50
+        assert trace["latency"] == 80
+        assert sum(trace["segments"].values()) == trace["latency"]
+
+    def test_hv_busy_delta_moves_queue_time_to_hv_wait(self):
+        rec = XrayRecorder(sample_every=1)
+        state = rec.begin(0, 100)
+        state.grant = 150
+        state.hv_busy0, state.hv_busyg = 1000, 1030
+        state.segs[HANDLER] += 30
+        rec.commit(state, 180)
+        segs = rec.trace("t0#0")["segments"]
+        assert segs["hv_wait"] == 30
+        assert segs["queue_wait"] == 20
+        assert sum(segs.values()) == 80
+
+    def test_hv_share_clamped_to_queue_time(self):
+        rec = XrayRecorder(sample_every=1)
+        state = rec.begin(0, 100)
+        state.grant = 110
+        state.hv_busy0, state.hv_busyg = 0, 10_000
+        rec.commit(state, 110)
+        segs = rec.trace("t0#0")["segments"]
+        assert segs["hv_wait"] == 10
+        assert segs["queue_wait"] == 0
+
+    def test_conservation_mismatch_is_flagged(self):
+        rec = XrayRecorder(sample_every=1)
+        state = rec.begin(0, 0)
+        state.grant = 0
+        state.segs[HANDLER] = 5    # but latency will be 9
+        rec.commit(state, 9)
+        assert rec.conservation_mismatches == ["t0#0"]
+        assert not rec.to_dict()["conservation"]["ok"]
+
+    def test_aggregates_cover_all_requests_not_just_sampled(self):
+        rec = XrayRecorder(sample_every=1 << 30)   # sample ~nothing
+        for i in range(10):
+            _finish(rec, i % 2, 0, 4, {"handler": 6}, 10)
+        assert rec.requests == 10
+        assert rec.latency_sum == 100
+        assert rec.per_stage[QUEUE] == 40
+        assert rec.per_stage[HANDLER] == 60
+        assert rec.tenants[0][0] == rec.tenants[1][0] == 5
+
+    def test_contention_split(self):
+        rec = XrayRecorder(sample_every=1)
+        _finish(rec, 0, 0, 8, {"hv_wait": 2, "handler": 10}, 20)
+        payload = rec.to_dict()
+        assert payload["contention_cycles"] == 10
+        assert payload["self_cycles"] == 10
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            XrayRecorder(sample_every=0)
+        with pytest.raises(ValueError):
+            XrayRecorder(keep=0)
+
+
+class TestBlame:
+    def test_holder_charged_not_victim(self):
+        rec = XrayRecorder()
+        rec.hv_blame(3, 5, 40)
+        rec.hv_blame(3, 5, 2)
+        assert rec.tenants[3][3] == 42
+        assert 5 not in rec.tenants
+
+    def test_self_wait_not_charged(self):
+        rec = XrayRecorder()
+        rec.hv_blame(3, 3, 40)
+        assert 3 not in rec.tenants
+
+    def test_noisy_neighbors_sorted_by_caused(self):
+        rec = XrayRecorder(sample_every=1)
+        for tenant, caused in ((0, 10), (1, 99), (2, 50)):
+            _finish(rec, tenant, 0, 0, {"handler": 1}, 1)
+            rec.hv_blame(tenant, 7, caused)
+        rows = rec.noisy_neighbors()
+        assert [r["tenant"] for r in rows[:3]] == [1, 2, 0]
+        assert rows[0]["caused_share"] == pytest.approx(99 / 159)
+
+
+class TestExport:
+    def test_p99_trace_id_nearest_latency(self):
+        rec = XrayRecorder(sample_every=1)
+        for i, latency in enumerate((10, 50, 90)):
+            _finish(rec, i, 0, 0, {"handler": latency}, latency)
+        assert rec.p99_trace_id(55) == "t1#0"
+        assert rec.p99_trace_id(None) is None
+
+    def test_keep_cap_is_declared_and_exemplars_pinned(self):
+        rec = XrayRecorder(sample_every=1, keep=2)
+        for i in range(6):
+            _finish(rec, i, 0, 0, {"handler": 10 + i}, 10 + i)
+        payload = rec.to_dict(
+            exemplars={"3": {"trace_id": "t0#0", "value": 10}})
+        ids = {t["id"] for t in payload["traces"]}
+        # top-2 by latency plus the pinned exemplar
+        assert ids == {"t5#0", "t4#0", "t0#0"}
+        assert payload["traces_sampled"] == 6
+        assert payload["traces_kept"] == 3
+
+    def test_window_causes_maps_top_bucket_exemplar(self):
+        rec = XrayRecorder(sample_every=1)
+        _finish(rec, 0, 0, 0, {"hv_wait": 90, "handler": 10}, 100)
+        windows = [{
+            "index": 4,
+            "histograms": {"fleet.latency.cycles": {
+                "exemplars": {"0": {"trace_id": "zz", "value": 1},
+                              "7": {"trace_id": "t0#0", "value": 100}},
+            }},
+        }]
+        causes = rec.window_causes(windows)
+        assert causes == {"4": {"trace_id": "t0#0",
+                                "segment": "hv_wait"}}
+
+
+class TestCheckTraces:
+    def _payload(self):
+        rec = XrayRecorder(sample_every=1)
+        for i in range(4):
+            _finish(rec, i, 0, 2, {"hv_wait": 3, "handler": 5}, 10)
+        return rec.to_dict()
+
+    def test_clean_payload_passes(self):
+        verdict = check_traces(self._payload())
+        assert verdict["ok"]
+        assert verdict["checked"] == 4
+
+    def test_tampered_segment_fails(self):
+        payload = self._payload()
+        payload["traces"][1]["segments"]["handler"] += 1
+        verdict = check_traces(payload)
+        assert not verdict["ok"]
+        assert payload["traces"][1]["id"] in verdict["mismatches"]
+
+    def test_commit_time_mismatch_carries_over(self):
+        payload = self._payload()
+        payload["conservation"]["ok"] = False
+        payload["conservation"]["mismatches"] = ["t9#9"]
+        verdict = check_traces(payload)
+        assert not verdict["ok"]
+        assert "t9#9" in verdict["mismatches"]
